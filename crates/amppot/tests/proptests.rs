@@ -1,0 +1,86 @@
+//! Property-based tests for the honeypot fleet: request conservation, the
+//! scan filter, and the 24-hour event-duration invariant.
+
+use dosscope_amppot::{AmpPotFleet, HoneypotId, RequestBatch};
+use dosscope_types::{ReflectionProtocol, SimTime};
+use dosscope_wire::builder;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+/// (victim octet, protocol index, start, duration secs, rate, pots)
+fn arb_attack() -> impl Strategy<Value = (u8, usize, u64, u64, u32, u8)> {
+    (1u8..30, 0usize..8, 0u64..100_000, 10u64..3_000, 1u32..6, 1u8..8)
+}
+
+fn render(attacks: &[(u8, usize, u64, u64, u32, u8)], fleet: &AmpPotFleet) -> Vec<RequestBatch> {
+    let mut batches = Vec::new();
+    for &(v, pi, start, dur, rate, pots) in attacks {
+        let victim = Ipv4Addr::new(198, 51, 100, v);
+        let protocol = ReflectionProtocol::ALL[pi];
+        for s in (0..dur).step_by(10) {
+            for p in 0..pots {
+                let addr = fleet.honeypots()[p as usize].addr;
+                let pkt = builder::reflection_request(victim, 40_000, addr, protocol);
+                batches.push(RequestBatch::repeated(
+                    HoneypotId(p),
+                    SimTime(start + s),
+                    rate,
+                    pkt,
+                ));
+            }
+        }
+    }
+    batches.sort_by_key(|b| (b.ts, b.honeypot));
+    batches
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Conservation and filter invariants: every request is either part of
+    /// an event or was scan-filtered; events always exceed 100 requests;
+    /// no event lasts more than 24 h.
+    #[test]
+    fn conservation_and_thresholds(attacks in proptest::collection::vec(arb_attack(), 1..5)) {
+        let mut fleet = AmpPotFleet::standard();
+        let batches = render(&attacks, &fleet);
+        let total: u64 = batches.iter().map(|b| b.count as u64).sum();
+        for b in &batches {
+            fleet.ingest(b);
+        }
+        let (events, stats) = fleet.finish();
+        prop_assert_eq!(stats.requests, total);
+        prop_assert_eq!(stats.malformed, 0);
+        prop_assert_eq!(stats.unrecognised, 0);
+        let event_requests: u64 = events.iter().map(|e| e.packets).sum();
+        prop_assert!(event_requests <= total);
+        for e in &events {
+            prop_assert!(e.packets > 100, "scan filter violated: {}", e.packets);
+            prop_assert!(e.duration_secs() <= 86_400, "24h cap violated");
+            prop_assert!(e.intensity_pps > 0.0);
+            prop_assert!(e.reflection_protocol().is_some());
+        }
+    }
+
+    /// Per (victim, protocol) grouping: the fleet never reports more
+    /// events for a pair than the number of generated attack episodes for
+    /// it (merging may reduce, never inflate beyond splits from the cap).
+    #[test]
+    fn no_spurious_events(attacks in proptest::collection::vec(arb_attack(), 1..5)) {
+        let mut fleet = AmpPotFleet::standard();
+        let batches = render(&attacks, &fleet);
+        for b in &batches {
+            fleet.ingest(b);
+        }
+        let (events, _) = fleet.finish();
+        for e in &events {
+            // Every event's (victim, protocol) pair must come from some
+            // generated attack.
+            let matched = attacks.iter().any(|&(v, pi, ..)| {
+                e.target == Ipv4Addr::new(198, 51, 100, v)
+                    && e.reflection_protocol() == Some(ReflectionProtocol::ALL[pi])
+            });
+            prop_assert!(matched, "event for unknown (victim, protocol)");
+        }
+    }
+}

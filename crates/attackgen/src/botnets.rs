@@ -1,0 +1,252 @@
+//! Ground truth for the third data source: botnet C&C activity.
+//!
+//! Models a Wang-et-al.-style population of monitored botnets issuing
+//! start/stop attack commands over the study window. Botnet attacks are
+//! *unspoofed direct* attacks: they produce no uniformly spoofed
+//! backscatter and abuse no reflectors, so the telescope and honeypots are
+//! structurally blind to them — the coverage gap the paper's footnote 4
+//! concedes and its Section 8 wants closed. A minority of botnet targets
+//! coincide with spoofed-attack victims (multi-vector incidents, as Wang
+//! et al. also observed).
+
+use crate::config::GenConfig;
+use crate::dist::{lognormal_min, weighted_index};
+use crate::model::GroundTruth;
+use dosscope_botmon::{AttackMethod, BotFamily, BotnetId, CncAction, CncCommand};
+use dosscope_geo::{AsRegistry, OrgKind};
+use dosscope_types::{SimTime, SECS_PER_DAY};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::net::Ipv4Addr;
+
+/// Paper-scale number of botnet attack events over two years,
+/// extrapolated from Wang et al.'s 51 k over seven months.
+pub const PAPER_BOTNET_EVENTS: f64 = 175_000.0;
+
+/// Family mix of the monitored botnets (DirtJumper dominated Wang et
+/// al.'s view; Mirai appears late in the window).
+const FAMILY_WEIGHTS: [(BotFamily, f64); 5] = [
+    (BotFamily::DirtJumper, 0.40),
+    (BotFamily::Yoddos, 0.22),
+    (BotFamily::Nitol, 0.16),
+    (BotFamily::Gafgyt, 0.12),
+    (BotFamily::Mirai, 0.10),
+];
+
+/// Generate the C&C command stream for the window, sorted by time.
+///
+/// `truth` provides the spoofed-attack target population, a slice of which
+/// the botnets also hit (multi-vector incidents).
+pub fn generate_commands(
+    config: &GenConfig,
+    registry: &AsRegistry,
+    truth: &GroundTruth,
+    seed: u64,
+) -> Vec<CncCommand> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let budget = ((PAPER_BOTNET_EVENTS / config.scale).round() as u64).max(3);
+    let horizon = config.days as u64 * SECS_PER_DAY;
+
+    // Access-network space: Noroozian et al. find most booter/botnet
+    // victims in broadband ISP networks.
+    let isp_space: Vec<&dosscope_geo::AsInfo> = registry
+        .ases()
+        .iter()
+        .filter(|a| a.kind == OrgKind::Isp)
+        .collect();
+    let spoofed_targets: Vec<(Ipv4Addr, dosscope_types::TimeRange)> = truth
+        .attacks
+        .iter()
+        .map(|a| (a.target, a.window))
+        .collect();
+
+    // A botnet population proportional to the event budget (Wang et al.:
+    // ~75 events per botnet over their window).
+    let n_botnets = (budget / 12).clamp(3, 700) as u32;
+    let mut commands = Vec::new();
+    let mut emitted = 0u64;
+    let family_weights: Vec<f64> = FAMILY_WEIGHTS.iter().map(|&(_, w)| w).collect();
+
+    let mut botnet_families = Vec::with_capacity(n_botnets as usize);
+    for _ in 0..n_botnets {
+        let fam = FAMILY_WEIGHTS[weighted_index(&mut rng, &family_weights)].0;
+        botnet_families.push(fam);
+    }
+
+    while emitted < budget {
+        let b = rng.gen_range(0..n_botnets);
+        let family = botnet_families[b as usize];
+        // Mirai only exists from late 2016 (day ~540 on).
+        let min_day = if family == BotFamily::Mirai {
+            (config.days as u64 * SECS_PER_DAY * 3 / 4).min(horizon - 1)
+        } else {
+            0
+        };
+        let ts = SimTime(rng.gen_range(min_day..horizon));
+        // Multi-vector: some botnet targets coincide with spoofed-attack
+        // victims — 40 % of those even during the spoofed attack itself.
+        let (target, overlap_window) = if !spoofed_targets.is_empty() && rng.gen_bool(0.25) {
+            let (t, w) = spoofed_targets[rng.gen_range(0..spoofed_targets.len())];
+            (t, Some(w))
+        } else {
+            let a = isp_space[rng.gen_range(0..isp_space.len())];
+            (a.sample_addr(&mut rng), None)
+        };
+        let start_ts = match overlap_window {
+            Some(w) if rng.gen_bool(0.4) => {
+                // Start inside the spoofed attack's window.
+                SimTime(rng.gen_range(w.start.secs()..w.end.secs().max(w.start.secs() + 1)))
+            }
+            _ => ts,
+        };
+        let method = match family {
+            BotFamily::DirtJumper | BotFamily::Yoddos => {
+                // HTTP-flood-centric families (Wang et al.: Web services
+                // are the preferred target).
+                if rng.gen_bool(0.8) {
+                    AttackMethod::HttpFlood
+                } else {
+                    AttackMethod::SynFlood
+                }
+            }
+            BotFamily::Mirai | BotFamily::Gafgyt => {
+                if rng.gen_bool(0.5) {
+                    AttackMethod::UdpFlood
+                } else {
+                    AttackMethod::SynFlood
+                }
+            }
+            BotFamily::Nitol => AttackMethod::SynFlood,
+        };
+        let port = match method {
+            AttackMethod::HttpFlood => 80,
+            AttackMethod::SynFlood => {
+                if rng.gen_bool(0.6) {
+                    80
+                } else {
+                    rng.gen_range(1..=65535)
+                }
+            }
+            AttackMethod::UdpFlood => 0,
+        };
+        commands.push(CncCommand {
+            botnet: BotnetId(b),
+            family,
+            ts: start_ts,
+            action: CncAction::Start {
+                target,
+                port,
+                method,
+            },
+        });
+        // 72 % of attacks get an explicit stop (the rest run until the
+        // monitor's cap) — botnets are sloppy.
+        if rng.gen_bool(0.72) {
+            let dur = lognormal_min(&mut rng, 1_800.0, 1.4, 60.0) as u64;
+            let stop_ts = start_ts.add_secs(dur.min(horizon.saturating_sub(start_ts.secs())));
+            commands.push(CncCommand {
+                botnet: BotnetId(b),
+                family,
+                ts: stop_ts,
+                action: CncAction::Stop { target },
+            });
+        }
+        emitted += 1;
+    }
+    commands.sort_by_key(|c| c.ts);
+    commands
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Calibration;
+    use crate::Generator;
+    use dosscope_dns::synth::{synthesize, SynthConfig};
+    use dosscope_geo::RegistryConfig;
+
+    fn setup() -> (AsRegistry, GroundTruth, GenConfig) {
+        let registry = AsRegistry::build(&RegistryConfig::default());
+        let synth = synthesize(
+            &SynthConfig {
+                total_sites: 5_000,
+                ..SynthConfig::default()
+            },
+            &registry,
+        );
+        let config = GenConfig {
+            scale: 20_000.0,
+            ..GenConfig::default()
+        };
+        let truth = Generator::new(config.clone(), Calibration::default(), &registry, &synth)
+            .generate();
+        (registry, truth, config)
+    }
+
+    #[test]
+    fn commands_are_time_sorted_and_in_window() {
+        let (registry, truth, config) = setup();
+        let cmds = generate_commands(&config, &registry, &truth, 7);
+        assert!(!cmds.is_empty());
+        assert!(cmds.windows(2).all(|w| w[0].ts <= w[1].ts));
+        let horizon = config.days as u64 * 86_400;
+        assert!(cmds.iter().all(|c| c.ts.secs() <= horizon));
+    }
+
+    #[test]
+    fn monitor_infers_events_from_commands() {
+        let (registry, truth, config) = setup();
+        let cmds = generate_commands(&config, &registry, &truth, 7);
+        let mut monitor = dosscope_botmon::CncMonitor::new();
+        for c in &cmds {
+            monitor.ingest(c);
+        }
+        let horizon = SimTime(config.days as u64 * 86_400);
+        let (events, stats) = monitor.finish(horizon);
+        let budget = (PAPER_BOTNET_EVENTS / config.scale).round() as usize;
+        assert!(
+            events.len() >= budget * 9 / 10,
+            "inferred {} of ~{budget}",
+            events.len()
+        );
+        assert_eq!(stats.orphan_stops, 0, "stops always follow starts");
+        assert!(stats.stopped > 0 && stats.capped > 0);
+    }
+
+    #[test]
+    fn mirai_appears_late() {
+        let (registry, truth, mut config) = setup();
+        config.scale = 2_000.0; // more events for a stable check
+        let cmds = generate_commands(&config, &registry, &truth, 7);
+        let cutoff = config.days as u64 * 86_400 * 3 / 4;
+        for c in cmds.iter().filter(|c| c.family == BotFamily::Mirai) {
+            if let CncAction::Start { .. } = c.action {
+                assert!(c.ts.secs() >= cutoff.min(c.ts.secs()), "sanity");
+            }
+        }
+        // At least some Mirai activity exists and all of it is in the last
+        // quarter of the window (modulo multi-vector overlap starts).
+        let mirai_starts: Vec<u64> = cmds
+            .iter()
+            .filter(|c| {
+                c.family == BotFamily::Mirai && matches!(c.action, CncAction::Start { .. })
+            })
+            .map(|c| c.ts.secs())
+            .collect();
+        assert!(!mirai_starts.is_empty());
+        let early = mirai_starts.iter().filter(|&&t| t < cutoff / 2).count();
+        assert!(
+            early * 5 < mirai_starts.len(),
+            "Mirai concentrated late: {early}/{}",
+            mirai_starts.len()
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let (registry, truth, config) = setup();
+        let a = generate_commands(&config, &registry, &truth, 7);
+        let b = generate_commands(&config, &registry, &truth, 7);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,33 @@
+//! # dosscope-attackgen
+//!
+//! The ground-truth side of the reproduction: a generative model of the
+//! DoS ecosystem over the two-year window, calibrated against the paper's
+//! published marginal distributions, plus renderers that turn ground-truth
+//! attacks into the *byte-level observations* each measurement
+//! infrastructure would record:
+//!
+//! * randomly spoofed attacks → backscatter packet batches into the
+//!   telescope's /8 (1/256 of uniformly spoofed replies land there);
+//! * reflection attacks → spoofed request batches at the honeypots on the
+//!   attacker's reflector list;
+//! * attacks on Web hosting → DPS migrations applied to the DNS zone
+//!   (intensity-dependent delays, platform-level moves).
+//!
+//! The analysis side (`dosscope-core`) never links this crate; it works
+//! exclusively on detector outputs and measurement data sets, mirroring
+//! the paper's separation between the Internet and the observatories.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod botnets;
+pub mod config;
+pub mod dist;
+pub mod migrate;
+pub mod model;
+pub mod render;
+
+pub use config::{Calibration, GenConfig};
+pub use migrate::{GtMigration, MigrationModel, MigrationOutcome};
+pub use model::{Episode, Generator, GroundTruth, GtAttack, GtKind, GtPorts};
+pub use render::Renderer;

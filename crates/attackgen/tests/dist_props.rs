@@ -1,0 +1,93 @@
+//! Property-based tests for the generator's sampling primitives.
+
+use dosscope_attackgen::dist::{lognormal_min, repeat_count, weighted_index, AnchorDist};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Strictly increasing positive values with increasing CDF anchors.
+fn arb_anchors() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    proptest::collection::vec((0.01f64..10.0, 0.01f64..1.0), 2..8).prop_map(|steps| {
+        let mut anchors = Vec::with_capacity(steps.len() + 1);
+        let mut v = 0.1f64;
+        let mut mass: Vec<f64> = steps.iter().map(|&(_, m)| m).collect();
+        let total: f64 = mass.iter().sum();
+        for m in &mut mass {
+            *m /= total;
+        }
+        anchors.push((v, 0.0));
+        let mut c = 0.0;
+        for (i, &(dv, _)) in steps.iter().enumerate() {
+            v += dv;
+            c += mass[i];
+            anchors.push((v, c.min(1.0)));
+        }
+        anchors.last_mut().expect("non-empty").1 = 1.0;
+        anchors
+    })
+}
+
+proptest! {
+    /// Samples stay within the anchor range; quantile/cdf are inverse;
+    /// quantile is monotone in q.
+    #[test]
+    fn anchor_dist_laws(anchors in arb_anchors(), seed in any::<u64>()) {
+        let d = AnchorDist::new(&anchors);
+        let lo = anchors[0].0;
+        let hi = anchors.last().unwrap().0;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let x = d.sample(&mut rng);
+            prop_assert!(x >= lo - 1e-12 && x <= hi + 1e-12, "{x} outside [{lo},{hi}]");
+        }
+        let mut prev = lo - 1.0;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let v = d.quantile(q);
+            prop_assert!(v + 1e-12 >= prev, "quantile not monotone");
+            prev = v;
+            // cdf(quantile(q)) == q wherever the CDF is strictly increasing.
+            let c = d.cdf(v);
+            prop_assert!(c + 1e-6 >= q, "cdf(quantile({q})) = {c}");
+        }
+        // Mean lies within the support.
+        let m = d.mean();
+        prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+    }
+
+    /// The truncated log-normal respects its floor and stays finite.
+    #[test]
+    fn lognormal_floor(median in 1.0f64..10_000.0, sigma in 0.1f64..3.0, seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let min = median / 4.0;
+        for _ in 0..20 {
+            let x = lognormal_min(&mut rng, median, sigma, min);
+            prop_assert!(x.is_finite());
+            prop_assert!(x >= min);
+        }
+    }
+
+    /// Repeat counts respect their bounds for every alpha.
+    #[test]
+    fn repeat_count_bounds(alpha in 0.5f64..5.0, max in 1u32..500, seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let k = repeat_count(&mut rng, alpha, max);
+            prop_assert!((1..=max).contains(&k));
+        }
+    }
+
+    /// Weighted choice returns an index with positive weight.
+    #[test]
+    fn weighted_index_valid(
+        weights in proptest::collection::vec(0.0f64..10.0, 1..10),
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..30 {
+            let i = weighted_index(&mut rng, &weights);
+            prop_assert!(i < weights.len());
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! End-to-end tests of the ground-truth generator: budgets, marginal
+//! distributions, episodes and the migration model.
+
+use dosscope_attackgen::config::Calibration;
+use dosscope_attackgen::migrate::MigrationTrigger;
+use dosscope_attackgen::{Episode, GenConfig, Generator, GtKind, GtPorts, MigrationModel};
+use dosscope_dns::synth::{synthesize, SynthConfig, SynthOutput};
+use dosscope_geo::{AsRegistry, RegistryConfig};
+use dosscope_types::{ReflectionProtocol, TransportProto};
+
+fn world(scale: f64) -> (AsRegistry, SynthOutput, GenConfig) {
+    let registry = AsRegistry::build(&RegistryConfig::default());
+    let synth = synthesize(
+        &SynthConfig {
+            total_sites: 20_000,
+            ..SynthConfig::default()
+        },
+        &registry,
+    );
+    let config = GenConfig {
+        scale,
+        ..GenConfig::default()
+    };
+    (registry, synth, config)
+}
+
+fn generate(scale: f64) -> (dosscope_attackgen::GroundTruth, SynthOutput, GenConfig) {
+    let (registry, synth, config) = world(scale);
+    let truth = Generator::new(
+        config.clone(),
+        Calibration::default(),
+        &registry,
+        &synth,
+    )
+    .generate();
+    (truth, synth, config)
+}
+
+#[test]
+fn budgets_roughly_met() {
+    let (truth, _, config) = generate(10_000.0);
+    let tele = truth.telescope_attacks().count() as u64;
+    let hp = truth.honeypot_attacks().count() as u64;
+    // Chains may overshoot by a few and episodes add a handful on top.
+    let tele_budget = config.telescope_events();
+    let hp_budget = config.honeypot_events();
+    assert!(
+        tele >= tele_budget && tele < tele_budget * 2,
+        "telescope {tele} vs budget {tele_budget}"
+    );
+    assert!(
+        hp >= hp_budget && hp < hp_budget * 2,
+        "honeypot {hp} vs budget {hp_budget}"
+    );
+}
+
+#[test]
+fn attacks_are_time_sorted_and_in_window() {
+    let (truth, _, config) = generate(10_000.0);
+    let horizon = config.days as u64 * 86_400;
+    assert!(truth
+        .attacks
+        .windows(2)
+        .all(|w| w[0].window.start <= w[1].window.start));
+    assert!(truth
+        .attacks
+        .iter()
+        .all(|a| a.window.start.secs() < horizon));
+}
+
+#[test]
+fn telescope_protocol_mix_matches_table5() {
+    let (truth, _, _) = generate(2_000.0);
+    let mut counts = [0usize; 4];
+    let mut total = 0usize;
+    for a in truth.telescope_attacks() {
+        if let GtKind::RandomSpoofed { proto, .. } = &a.kind {
+            let i = TransportProto::ALL.iter().position(|p| p == proto).unwrap();
+            counts[i] += 1;
+            total += 1;
+        }
+    }
+    let tcp = counts[0] as f64 / total as f64;
+    let udp = counts[1] as f64 / total as f64;
+    let icmp = counts[2] as f64 / total as f64;
+    assert!((tcp - 0.794).abs() < 0.03, "TCP {tcp}");
+    assert!((udp - 0.159).abs() < 0.03, "UDP {udp}");
+    assert!((icmp - 0.045).abs() < 0.02, "ICMP {icmp}");
+}
+
+#[test]
+fn reflection_protocol_mix_matches_table6() {
+    let (truth, _, _) = generate(2_000.0);
+    let mut ntp = 0usize;
+    let mut dns = 0usize;
+    let mut total = 0usize;
+    for a in truth.honeypot_attacks() {
+        if let GtKind::Reflection { protocol, .. } = &a.kind {
+            total += 1;
+            match protocol {
+                ReflectionProtocol::Ntp => ntp += 1,
+                ReflectionProtocol::Dns => dns += 1,
+                _ => {}
+            }
+        }
+    }
+    let ntp_share = ntp as f64 / total as f64;
+    let dns_share = dns as f64 / total as f64;
+    assert!((ntp_share - 0.40).abs() < 0.05, "NTP {ntp_share}");
+    assert!((dns_share - 0.26).abs() < 0.05, "DNS {dns_share}");
+}
+
+#[test]
+fn joint_attacks_overlap_same_target() {
+    let (truth, _, config) = generate(2_000.0);
+    let mut by_id: std::collections::HashMap<u32, Vec<&dosscope_attackgen::GtAttack>> =
+        Default::default();
+    for a in &truth.attacks {
+        if let Some(id) = a.joint_id {
+            by_id.entry(id).or_default().push(a);
+        }
+    }
+    assert_eq!(by_id.len() as u64, config.joint_incidents());
+    for (id, pair) in by_id {
+        assert_eq!(pair.len(), 2, "incident {id}");
+        assert_eq!(pair[0].target, pair[1].target);
+        assert!(pair[0].window.overlaps(&pair[1].window), "incident {id}");
+        assert_ne!(
+            pair[0].is_random_spoofed(),
+            pair[1].is_random_spoofed(),
+            "one per infrastructure"
+        );
+    }
+}
+
+#[test]
+fn durations_match_figure2_shape() {
+    let (truth, _, _) = generate(2_000.0);
+    let tele: Vec<f64> = truth
+        .telescope_attacks()
+        .map(|a| a.window.duration_secs() as f64)
+        .collect();
+    let within_5m = tele.iter().filter(|&&d| d <= 300.0).count() as f64 / tele.len() as f64;
+    assert!(
+        (0.30..0.52).contains(&within_5m),
+        "~40 % of telescope attacks ≤ 5 min, got {within_5m}"
+    );
+    assert!(tele.iter().all(|&d| d >= 60.0), "60 s duration floor");
+    let hp: Vec<f64> = truth
+        .honeypot_attacks()
+        .map(|a| a.window.duration_secs() as f64)
+        .collect();
+    let mut sorted = hp.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = sorted[sorted.len() / 2];
+    assert!(
+        (150.0..450.0).contains(&median),
+        "honeypot median ≈ 255 s, got {median}"
+    );
+    assert!(hp.iter().all(|&d| d <= 86_400.0), "24 h cap");
+}
+
+#[test]
+fn single_port_share_matches_table7() {
+    let (truth, _, _) = generate(2_000.0);
+    let mut single = 0usize;
+    let mut total = 0usize;
+    for a in truth.telescope_attacks() {
+        if let GtKind::RandomSpoofed { ports, .. } = &a.kind {
+            total += 1;
+            if !matches!(ports, GtPorts::Multi(_)) {
+                single += 1;
+            }
+        }
+    }
+    let share = single as f64 / total as f64;
+    assert!((share - 0.606).abs() < 0.04, "single-port {share}");
+}
+
+#[test]
+fn episodes_present() {
+    let (truth, _, _) = generate(10_000.0);
+    assert!(truth
+        .attacks
+        .iter()
+        .any(|a| a.episode == Episode::WixTakedown));
+    assert!(truth
+        .attacks
+        .iter()
+        .any(|a| a.episode == Episode::EnomSlowBurn));
+    for i in 0..4u8 {
+        assert!(
+            truth
+                .attacks
+                .iter()
+                .any(|a| a.episode == Episode::MarqueePeak(i)),
+            "marquee {i} missing"
+        );
+    }
+    // The Wix takedown is a ≥ 4 h NTP reflection attack.
+    let wix = truth
+        .attacks
+        .iter()
+        .find(|a| a.episode == Episode::WixTakedown)
+        .unwrap();
+    assert!(wix.window.duration_secs() >= 4 * 3600);
+    assert!(matches!(
+        wix.kind,
+        GtKind::Reflection {
+            protocol: ReflectionProtocol::Ntp,
+            ..
+        }
+    ));
+}
+
+#[test]
+fn generation_is_deterministic() {
+    let (a, _, _) = generate(10_000.0);
+    let (b, _, _) = generate(10_000.0);
+    assert_eq!(a.attacks.len(), b.attacks.len());
+    for (x, y) in a.attacks.iter().zip(&b.attacks) {
+        assert_eq!(x.target, y.target);
+        assert_eq!(x.window, y.window);
+    }
+}
+
+#[test]
+fn migrations_applied_to_zone() {
+    let (registry, mut synth, config) = world(2_000.0);
+    let truth = Generator::new(
+        config.clone(),
+        Calibration::default(),
+        &registry,
+        &synth,
+    )
+    .generate();
+    let outcome = MigrationModel::apply(&config, &Calibration::default(), &truth, &mut synth);
+    assert!(
+        !outcome.migrations.is_empty(),
+        "some sites migrate at this scale"
+    );
+    // Every migration is visible in the zone: the new placement carries
+    // the provider CNAME from the migration day on.
+    for m in outcome.migrations.iter().take(50) {
+        let p = synth
+            .zone
+            .placement_of(m.domain, m.day)
+            .expect("placement exists on migration day");
+        assert_eq!(p.cname, Some(m.provider), "domain {:?}", m.domain);
+    }
+    // The Wix platform move exists and lands the day after the attack.
+    let wix_moves: Vec<_> = outcome
+        .migrations
+        .iter()
+        .filter(|m| m.trigger == MigrationTrigger::PlatformMove)
+        .collect();
+    assert!(!wix_moves.is_empty(), "platform moves happen");
+    // All migration days are within the window.
+    assert!(outcome.migrations.iter().all(|m| m.day.0 < config.days));
+}
+
+#[test]
+fn spontaneous_and_attack_triggers_both_occur() {
+    let (registry, mut synth, config) = world(2_000.0);
+    let truth = Generator::new(
+        config.clone(),
+        Calibration::default(),
+        &registry,
+        &synth,
+    )
+    .generate();
+    let outcome = MigrationModel::apply(&config, &Calibration::default(), &truth, &mut synth);
+    let spont = outcome
+        .migrations
+        .iter()
+        .filter(|m| m.trigger == MigrationTrigger::Spontaneous)
+        .count();
+    let triggered = outcome
+        .migrations
+        .iter()
+        .filter(|m| m.trigger == MigrationTrigger::Attack)
+        .count();
+    assert!(spont > 0, "spontaneous migrations occur");
+    assert!(triggered > 0, "attack-triggered migrations occur");
+}

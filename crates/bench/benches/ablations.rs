@@ -1,0 +1,122 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * the Moore et al. filter thresholds — how many flows survive at the
+//!   published values vs. looser/stricter variants (printed once);
+//! * the flow-table timeout — event splitting vs the 300 s default;
+//! * the honeypot fleet-merge idle gap;
+//! * AnchorDist (inverse-CDF) sampling vs log-normal rejection sampling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dosscope_attackgen::dist::{lognormal_min, AnchorDist};
+use dosscope_harness::{Scenario, ScenarioConfig};
+use dosscope_telescope::{DetectorConfig, PacketBatch, RsdosDetector, Telescope};
+use dosscope_types::DayIndex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::OnceLock;
+
+/// One rendered day of telescope traffic from a small scenario: a
+/// realistic mixed batch stream for detector ablations.
+fn day_batches() -> &'static Vec<PacketBatch> {
+    static BATCHES: OnceLock<Vec<PacketBatch>> = OnceLock::new();
+    BATCHES.get_or_init(|| {
+        let config = ScenarioConfig {
+            scale: 20_000.0,
+            ..ScenarioConfig::default()
+        };
+        let world = Scenario::run(&config);
+        let renderer = dosscope_attackgen::Renderer::new(
+            &world.truth,
+            Telescope::default_slash8(),
+            (0..24).map(|i| std::net::Ipv4Addr::new(198, 18, i, 53)).collect(),
+            7,
+            world.days,
+        );
+        // Concatenate a couple of busy days.
+        let mut out = Vec::new();
+        for d in 10..14 {
+            out.extend(renderer.telescope_day(DayIndex(d)));
+        }
+        out
+    })
+}
+
+fn run_with(config: DetectorConfig) -> (usize, u64) {
+    let mut d = RsdosDetector::new(Telescope::default_slash8(), config);
+    for b in day_batches() {
+        d.ingest(b);
+    }
+    let (events, stats) = d.finish();
+    (events.len(), stats.flows_filtered)
+}
+
+fn bench_threshold_ablation(c: &mut Criterion) {
+    let published = DetectorConfig::default();
+    let loose = DetectorConfig {
+        min_packets: 1,
+        min_duration_secs: 0,
+        min_max_pps: 0.0,
+        ..published
+    };
+    let strict = DetectorConfig {
+        min_packets: 100,
+        min_duration_secs: 300,
+        min_max_pps: 2.0,
+        ..published
+    };
+    let short_timeout = DetectorConfig {
+        flow_timeout_secs: 60,
+        ..published
+    };
+    for (label, cfg) in [
+        ("published (25 pkts / 60 s / 0.5 pps / 300 s)", published),
+        ("no filters", loose),
+        ("strict (100 / 300 s / 2 pps)", strict),
+        ("60 s flow timeout", short_timeout),
+    ] {
+        let (events, filtered) = run_with(cfg);
+        println!("ablation[{label}]: {events} events, {filtered} flows filtered");
+    }
+
+    let mut g = c.benchmark_group("detector_ablation");
+    g.sample_size(20);
+    g.bench_function("published_thresholds", |b| b.iter(|| run_with(published)));
+    g.bench_function("no_filters", |b| b.iter(|| run_with(loose)));
+    g.bench_function("short_flow_timeout", |b| b.iter(|| run_with(short_timeout)));
+    g.finish();
+}
+
+fn bench_sampling_ablation(c: &mut Criterion) {
+    // AnchorDist inverse-CDF sampling vs Box-Muller log-normal rejection:
+    // the generator's choice (anchors) is both faster and directly matches
+    // published curves.
+    let anchors = AnchorDist::new(&[
+        (0.5, 0.0),
+        (1.0, 0.50),
+        (2.0, 0.70),
+        (10.0, 0.83),
+        (100.0, 0.96),
+        (100_000.0, 1.0),
+    ]);
+    let mut g = c.benchmark_group("sampling_ablation");
+    g.bench_function("anchor_inverse_cdf", |b| {
+        let mut rng = SmallRng::seed_from_u64(1);
+        b.iter(|| anchors.sample(&mut rng))
+    });
+    g.bench_function("lognormal_rejection", |b| {
+        let mut rng = SmallRng::seed_from_u64(1);
+        b.iter(|| lognormal_min(&mut rng, 454.0, 1.95, 60.0))
+    });
+    g.bench_function("uniform_baseline", |b| {
+        let mut rng = SmallRng::seed_from_u64(1);
+        b.iter(|| rng.gen_range(0.5..100_000.0))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = ablations;
+    config = Criterion::default();
+    targets = bench_threshold_ablation, bench_sampling_ablation
+}
+criterion_main!(ablations);

@@ -1,0 +1,195 @@
+//! Component microbenchmarks: the hot paths of the measurement pipelines
+//! (packet build/parse, backscatter classification, flow-table ingest,
+//! honeypot ingest, LPM lookups, statistics kernels) plus ablations for
+//! the design choices DESIGN.md calls out (checked vs unchecked parsing,
+//! batch compression factor).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dosscope_amppot::{AmpPotFleet, HoneypotId, RequestBatch};
+use dosscope_geo::{AsRegistry, PrefixMap, RegistryConfig};
+use dosscope_telescope::{classify, PacketBatch, RsdosDetector, Telescope};
+use dosscope_types::{Ecdf, Ipv4Cidr, ReflectionProtocol, SimTime};
+use dosscope_wire::{builder, Ipv4Packet};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::net::Ipv4Addr;
+
+fn bench_wire(c: &mut Criterion) {
+    let victim: Ipv4Addr = "203.0.113.7".parse().unwrap();
+    let dark: Ipv4Addr = "44.1.2.3".parse().unwrap();
+
+    let mut g = c.benchmark_group("wire");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("build_tcp_syn_ack", |b| {
+        b.iter(|| builder::tcp_syn_ack(black_box(victim), 80, black_box(dark), 40000, 7))
+    });
+    g.bench_function("build_icmp_unreachable_quoting_udp", |b| {
+        b.iter(|| {
+            builder::icmp_dest_unreachable(
+                black_box(victim),
+                black_box(dark),
+                dosscope_wire::IpProtocol::Udp,
+                5555,
+                27015,
+                3,
+            )
+        })
+    });
+    g.bench_function("build_ntp_monlist_request", |b| {
+        b.iter(|| builder::reflection_request(victim, 4444, dark, ReflectionProtocol::Ntp))
+    });
+
+    let syn_ack = builder::tcp_syn_ack(victim, 80, dark, 40000, 7);
+    g.bench_function("parse_checked_ipv4", |b| {
+        b.iter(|| Ipv4Packet::new_checked(black_box(syn_ack.as_slice())).unwrap())
+    });
+    // Ablation: cost of validation vs the unchecked view.
+    g.bench_function("parse_unchecked_ipv4", |b| {
+        b.iter(|| Ipv4Packet::new_unchecked(black_box(syn_ack.as_slice())))
+    });
+    g.bench_function("classify_backscatter", |b| {
+        let ip = Ipv4Packet::new_checked(syn_ack.as_slice()).unwrap();
+        b.iter(|| classify(black_box(&ip)))
+    });
+    g.finish();
+}
+
+fn bench_detector(c: &mut Criterion) {
+    let victim: Ipv4Addr = "203.0.113.7".parse().unwrap();
+    // 600 batches ≈ one 10-minute 2-pps flood.
+    let make_batches = |count: u32| -> Vec<PacketBatch> {
+        (0..600u64)
+            .map(|s| {
+                let pkt = builder::tcp_syn_ack(
+                    victim,
+                    80,
+                    Ipv4Addr::new(44, (s % 200) as u8, 3, 4),
+                    40000,
+                    s as u32,
+                );
+                PacketBatch::repeated(SimTime(s), count, pkt)
+            })
+            .collect()
+    };
+    let batches1 = make_batches(1);
+    let batches64 = make_batches(64);
+
+    let mut g = c.benchmark_group("detector");
+    g.throughput(Throughput::Elements(batches1.len() as u64));
+    g.bench_function("rsdos_ingest_600_batches", |b| {
+        b.iter(|| {
+            let mut d = RsdosDetector::with_defaults(Telescope::default_slash8());
+            for batch in &batches1 {
+                d.ingest(batch);
+            }
+            d.finish()
+        })
+    });
+    // Ablation: batch compression — same packet volume, 64x fewer parses.
+    g.bench_function("rsdos_ingest_600_batches_x64_compressed", |b| {
+        b.iter(|| {
+            let mut d = RsdosDetector::with_defaults(Telescope::default_slash8());
+            for batch in &batches64 {
+                d.ingest(batch);
+            }
+            d.finish()
+        })
+    });
+    g.finish();
+}
+
+fn bench_fleet(c: &mut Criterion) {
+    let victim: Ipv4Addr = "203.0.113.7".parse().unwrap();
+    let fleet_template = AmpPotFleet::standard();
+    let pot_addr = fleet_template.honeypots()[0].addr;
+    let batches: Vec<RequestBatch> = (0..600u64)
+        .map(|s| {
+            let pkt = builder::reflection_request(victim, 4000, pot_addr, ReflectionProtocol::Ntp);
+            RequestBatch::repeated(HoneypotId(0), SimTime(s), 3, pkt)
+        })
+        .collect();
+
+    let mut g = c.benchmark_group("amppot");
+    g.throughput(Throughput::Elements(batches.len() as u64));
+    g.bench_function("fleet_ingest_600_batches", |b| {
+        b.iter(|| {
+            let mut fleet = AmpPotFleet::standard();
+            for batch in &batches {
+                fleet.ingest(batch);
+            }
+            fleet.finish()
+        })
+    });
+    g.finish();
+}
+
+fn bench_geo(c: &mut Criterion) {
+    let registry = AsRegistry::build(&RegistryConfig::default());
+    let geo = registry.build_geodb();
+    let asdb = registry.build_asdb();
+    let mut rng = SmallRng::seed_from_u64(11);
+    let probes: Vec<Ipv4Addr> = (0..1024).map(|_| Ipv4Addr::from(rng.gen::<u32>())).collect();
+
+    let mut g = c.benchmark_group("geo");
+    g.throughput(Throughput::Elements(probes.len() as u64));
+    g.bench_function("lpm_country_lookup_1k", |b| {
+        b.iter(|| {
+            probes
+                .iter()
+                .filter(|&&a| geo.country_of(a).is_some())
+                .count()
+        })
+    });
+    g.bench_function("lpm_asn_lookup_1k", |b| {
+        b.iter(|| probes.iter().filter(|&&a| asdb.asn_of(a).is_some()).count())
+    });
+    g.bench_function("trie_insert_1k", |b| {
+        b.iter(|| {
+            let mut m = PrefixMap::new();
+            for (i, &p) in probes.iter().enumerate().take(1000) {
+                m.insert(Ipv4Cidr::new(p, 24), i as u32);
+            }
+            m.len()
+        })
+    });
+    g.finish();
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(5);
+    let samples: Vec<f64> = (0..100_000).map(|_| rng.gen_range(0.0..1e5)).collect();
+    let mut g = c.benchmark_group("stats");
+    g.throughput(Throughput::Elements(samples.len() as u64));
+    g.bench_function("ecdf_freeze_100k", |b| {
+        b.iter(|| {
+            let e: Ecdf = samples.iter().copied().collect();
+            e.freeze()
+        })
+    });
+    let frozen: dosscope_types::FrozenEcdf = samples.iter().copied().collect::<Ecdf>().freeze();
+    g.bench_function("ecdf_cdf_query", |b| b.iter(|| frozen.cdf(black_box(500.0))));
+    g.finish();
+}
+
+fn bench_scenario(c: &mut Criterion) {
+    // The full end-to-end loop at a tiny scale: the number a downstream
+    // user cares about when sweeping parameters.
+    let mut g = c.benchmark_group("scenario");
+    g.sample_size(10);
+    g.bench_function("end_to_end_scale_200k", |b| {
+        b.iter(|| {
+            dosscope_harness::Scenario::run(&dosscope_harness::ScenarioConfig {
+                scale: 200_000.0,
+                ..dosscope_harness::ScenarioConfig::default()
+            })
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = components;
+    config = Criterion::default();
+    targets = bench_wire, bench_detector, bench_fleet, bench_geo, bench_stats, bench_scenario
+}
+criterion_main!(components);

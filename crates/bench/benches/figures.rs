@@ -1,0 +1,130 @@
+//! One benchmark per figure of the paper (plus the Section 4 joint-attack
+//! correlation): each target regenerates the figure's data series from a
+//! prebuilt scenario world and prints the headline values once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dosscope_core::migration::MigrationAnalysis;
+use dosscope_core::report::{render_web_impact, DistributionFigure, Figure1, Figure5};
+use dosscope_core::webimpact::WebImpact;
+use dosscope_core::{Enricher, Framework, JointAnalysis};
+use dosscope_harness::{Scenario, ScenarioConfig, World};
+use dosscope_types::EventSource;
+use std::sync::OnceLock;
+
+fn world() -> &'static World {
+    static WORLD: OnceLock<World> = OnceLock::new();
+    WORLD.get_or_init(|| {
+        Scenario::run(&ScenarioConfig {
+            scale: 20_000.0,
+            ..ScenarioConfig::default()
+        })
+    })
+}
+
+fn fw() -> Framework<'static> {
+    world().framework()
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let framework = fw();
+
+    // Figure 1: daily attacks / targets / /16s / ASNs, three panels.
+    println!("{}", Figure1::build(&framework).render());
+    c.bench_function("figure1_daily_series", |b| {
+        b.iter(|| Figure1::build(&framework))
+    });
+
+    // Figure 2: duration CDFs per source.
+    let d_tel = DistributionFigure::durations(&framework, EventSource::Telescope);
+    let d_hp = DistributionFigure::durations(&framework, EventSource::Honeypot);
+    println!(
+        "Figure 2: telescope median {:.0}s mean {:.0}s | honeypot median {:.0}s mean {:.0}s",
+        d_tel.ecdf.median().unwrap_or(0.0),
+        d_tel.ecdf.mean().unwrap_or(0.0),
+        d_hp.ecdf.median().unwrap_or(0.0),
+        d_hp.ecdf.mean().unwrap_or(0.0),
+    );
+    c.bench_function("figure2_duration_cdfs", |b| {
+        b.iter(|| {
+            (
+                DistributionFigure::durations(&framework, EventSource::Telescope),
+                DistributionFigure::durations(&framework, EventSource::Honeypot),
+            )
+        })
+    });
+
+    // Figure 3: telescope intensity CDF.
+    let f3 = DistributionFigure::intensities(&framework, EventSource::Telescope);
+    println!(
+        "Figure 3: median {:.1} pps, mean {:.1} pps, P(<=2)={:.2}",
+        f3.ecdf.median().unwrap_or(0.0),
+        f3.ecdf.mean().unwrap_or(0.0),
+        f3.ecdf.cdf(2.0)
+    );
+    c.bench_function("figure3_telescope_intensity", |b| {
+        b.iter(|| DistributionFigure::intensities(&framework, EventSource::Telescope))
+    });
+
+    // Figure 4: honeypot intensity CDFs, overall + per protocol.
+    let f4 = DistributionFigure::intensities(&framework, EventSource::Honeypot);
+    println!(
+        "Figure 4: median {:.0} req/s, mean {:.0} req/s",
+        f4.ecdf.median().unwrap_or(0.0),
+        f4.ecdf.mean().unwrap_or(0.0)
+    );
+    c.bench_function("figure4_honeypot_intensity_per_protocol", |b| {
+        b.iter(|| DistributionFigure::intensities_per_protocol(&framework))
+    });
+
+    // Figure 5: medium+ intensity attacks per day.
+    println!("{}", Figure5::build(&framework).render());
+    c.bench_function("figure5_medium_intensity_series", |b| {
+        b.iter(|| Figure5::build(&framework))
+    });
+
+    // Figures 6 and 7: the Web-association join.
+    let web = WebImpact::analyze(&framework).expect("dns attached");
+    println!("{}", render_web_impact(&web));
+    c.bench_function("figure6_7_web_association", |b| {
+        b.iter(|| WebImpact::analyze(&framework))
+    });
+
+    // Figures 8-11 + Table 9: the migration analysis.
+    let m = MigrationAnalysis::analyze(&framework, &web).expect("dps attached");
+    let t = &m.taxonomy;
+    println!(
+        "Figure 8: attacked {:.1}% | Figure 9: <=5 all {:.1}% migrating {:.1}% | Figure 10: 6d all {:.1}% top0.1 {:.1}% | Figure 11: 1d {:.1}%",
+        100.0 * t.attacked_share(),
+        100.0 * m.freq_all.cdf(5.0),
+        100.0 * m.freq_migrating.cdf(5.0),
+        100.0 * m.delay_all.cdf(6.0),
+        100.0 * m.delay_top01.cdf(6.0),
+        100.0 * m.delay_long4h.cdf(1.0),
+    );
+    c.bench_function("figure8_11_migration_analysis", |b| {
+        b.iter(|| MigrationAnalysis::analyze(&framework, &web))
+    });
+
+    // Section 4: joint-attack correlation.
+    let enricher = Enricher::new(framework.geo, framework.asdb);
+    let joint = JointAnalysis::run(&framework.store, &enricher);
+    println!(
+        "Joint: {} common, {} joint targets, single-port {:.1}%",
+        joint.common_targets,
+        joint.joint_targets,
+        100.0 * joint.single_port_share
+    );
+    c.bench_function("joint_attack_correlation", |b| {
+        b.iter(|| {
+            let enricher = Enricher::new(framework.geo, framework.asdb);
+            JointAnalysis::run(&framework.store, &enricher)
+        })
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(20);
+    targets = bench_figures
+}
+criterion_main!(figures);

@@ -1,0 +1,89 @@
+//! One benchmark per table of the paper: each target regenerates the
+//! table from a prebuilt scenario world and prints its rows once, so a
+//! bench run doubles as a reproduction run (see EXPERIMENTS.md for the
+//! paper-vs-measured record).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dosscope_core::report::{Table1, Table2, Table3, Table4, Table5, Table6, Table7, Table8};
+use dosscope_core::Framework;
+use dosscope_harness::{Scenario, ScenarioConfig, World};
+use std::sync::OnceLock;
+
+fn world() -> &'static World {
+    static WORLD: OnceLock<World> = OnceLock::new();
+    WORLD.get_or_init(|| {
+        Scenario::run(&ScenarioConfig {
+            scale: 20_000.0,
+            ..ScenarioConfig::default()
+        })
+    })
+}
+
+fn fw() -> Framework<'static> {
+    world().framework()
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let framework = fw();
+
+    println!("{}", Table1::build(&framework).render());
+    c.bench_function("table1_attack_events_summary", |b| {
+        b.iter(|| Table1::build(&framework))
+    });
+
+    if let Some(t2) = Table2::build(&framework) {
+        println!("{}", t2.render());
+    }
+    c.bench_function("table2_dns_dataset_summary", |b| {
+        b.iter(|| Table2::build(&framework))
+    });
+
+    if let Some(t3) = Table3::build(&framework) {
+        println!("{}", t3.render());
+    }
+    c.bench_function("table3_dps_web_sites", |b| {
+        b.iter(|| Table3::build(&framework))
+    });
+
+    println!("{}", Table4::build(&framework).render());
+    c.bench_function("table4_country_ranking", |b| {
+        b.iter(|| Table4::build(&framework))
+    });
+
+    println!("{}", Table5::build(&framework).render());
+    c.bench_function("table5_ip_protocols", |b| {
+        b.iter(|| Table5::build(&framework))
+    });
+
+    println!("{}", Table6::build(&framework).render());
+    c.bench_function("table6_reflection_protocols", |b| {
+        b.iter(|| Table6::build(&framework))
+    });
+
+    println!("{}", Table7::build(&framework).render());
+    c.bench_function("table7_port_cardinality", |b| {
+        b.iter(|| Table7::build(&framework))
+    });
+
+    println!("{}", Table8::build(&framework).render());
+    c.bench_function("table8_targeted_services", |b| {
+        b.iter(|| Table8::build(&framework))
+    });
+
+    // Table 9 comes out of the Section 6 analysis (benched end to end in
+    // figures.rs); here only the percentile extraction is measured.
+    let web = dosscope_core::webimpact::WebImpact::analyze(&framework).expect("dns attached");
+    let migration =
+        dosscope_core::migration::MigrationAnalysis::analyze(&framework, &web).expect("dps");
+    println!("Table 9: {:?}", migration.table9_row());
+    c.bench_function("table9_intensity_percentiles", |b| {
+        b.iter(|| migration.table9_row())
+    });
+}
+
+criterion_group! {
+    name = tables;
+    config = Criterion::default().sample_size(20);
+    targets = bench_tables
+}
+criterion_main!(tables);

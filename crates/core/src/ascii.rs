@@ -1,0 +1,191 @@
+//! Terminal rendering of the paper's figures: compact ASCII plots for
+//! CDFs (Figures 2-4, 9-11), daily time series (Figures 1, 5, 7) and bar
+//! histograms (Figure 6), so the reproduction report shows the *shapes*
+//! being compared, not just summary statistics.
+
+use dosscope_types::{FrozenEcdf, LogHistogram, TimeSeries};
+use std::fmt::Write as _;
+
+/// Plot a CDF as rows of `(threshold, bar, percent)` with a log-spaced x
+/// axis from `min` to `max` — the layout of the paper's log-x CDF figures.
+pub fn cdf(ecdf: &FrozenEcdf, min: f64, max: f64, rows: u32, width: usize) -> String {
+    let mut out = String::new();
+    if ecdf.is_empty() || min <= 0.0 || max <= min {
+        return "  (no data)\n".into();
+    }
+    let lmin = min.ln();
+    let lmax = max.ln();
+    for i in 0..=rows {
+        let x = (lmin + (lmax - lmin) * i as f64 / rows as f64).exp();
+        let f = ecdf.cdf(x);
+        let filled = (f * width as f64).round() as usize;
+        let _ = writeln!(
+            out,
+            "  {:>10} |{}{}| {:>5.1}%",
+            si(x),
+            "#".repeat(filled.min(width)),
+            " ".repeat(width.saturating_sub(filled)),
+            100.0 * f
+        );
+    }
+    out
+}
+
+/// Plot a daily time series as a fixed number of column buckets, each the
+/// mean of its day range, with a log-scaled bar height rendered as rows of
+/// characters (top to bottom) — a terminal rendition of Figure 1's panels.
+pub fn series(ts: &TimeSeries, columns: usize, height: usize) -> String {
+    let n = ts.days() as usize;
+    if n == 0 {
+        return "  (no data)\n".into();
+    }
+    let columns = columns.min(n).max(1);
+    let per = n.div_ceil(columns);
+    // Recompute so the frame has no empty trailing columns.
+    let columns = n.div_ceil(per);
+    let buckets: Vec<f64> = (0..columns)
+        .map(|c| {
+            let lo = c * per;
+            let hi = ((c + 1) * per).min(n);
+            if lo >= hi {
+                return 0.0;
+            }
+            (lo..hi)
+                .map(|d| ts.get(dosscope_types::DayIndex(d as u32)))
+                .sum::<f64>()
+                / (hi - lo) as f64
+        })
+        .collect();
+    let max = buckets.iter().copied().fold(0.0f64, f64::max);
+    if max <= 0.0 {
+        return "  (all zero)\n".into();
+    }
+    let mut out = String::new();
+    for row in (1..=height).rev() {
+        let threshold = max * row as f64 / height as f64;
+        let line: String = buckets
+            .iter()
+            .map(|&v| if v + 1e-12 >= threshold { '█' } else { ' ' })
+            .collect();
+        let label = if row == height {
+            format!("{:>8}", si(max))
+        } else {
+            " ".repeat(8)
+        };
+        let _ = writeln!(out, "  {label} |{line}|");
+    }
+    let _ = writeln!(
+        out,
+        "  {:>8} +{}+ ({} days per column)",
+        "0",
+        "-".repeat(columns),
+        per
+    );
+    out
+}
+
+/// Plot a log histogram as labelled bars (Figure 6's layout).
+pub fn histogram(hist: &LogHistogram, width: usize) -> String {
+    let max = hist.bins().iter().copied().max().unwrap_or(0);
+    if max == 0 {
+        return "  (no data)\n".into();
+    }
+    let mut out = String::new();
+    for (label, &count) in hist.labels().iter().zip(hist.bins()) {
+        let filled = ((count as f64 / max as f64) * width as f64).round() as usize;
+        let _ = writeln!(
+            out,
+            "  {:<14} |{}{}| {}",
+            label,
+            "#".repeat(filled),
+            " ".repeat(width.saturating_sub(filled)),
+            count
+        );
+    }
+    out
+}
+
+/// Format a value with an SI-ish suffix for axis labels.
+fn si(x: f64) -> String {
+    if x >= 1e6 {
+        format!("{:.1}M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.1}k", x / 1e3)
+    } else if x >= 10.0 {
+        format!("{x:.0}")
+    } else {
+        format!("{x:.1}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dosscope_types::{DayIndex, Ecdf};
+
+    #[test]
+    fn cdf_plot_shape() {
+        let e: FrozenEcdf = (1..=100)
+            .map(|i| i as f64)
+            .collect::<Ecdf>()
+            .freeze();
+        let plot = cdf(&e, 1.0, 100.0, 6, 20);
+        let lines: Vec<&str> = plot.lines().collect();
+        assert_eq!(lines.len(), 7);
+        assert!(lines[0].contains("1.0"));
+        assert!(lines[6].ends_with("100.0%"));
+        // Monotone bar growth.
+        let hashes: Vec<usize> = lines
+            .iter()
+            .map(|l| l.matches('#').count())
+            .collect();
+        assert!(hashes.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn cdf_plot_empty() {
+        let e: FrozenEcdf = Ecdf::new().freeze();
+        assert!(cdf(&e, 1.0, 10.0, 4, 10).contains("no data"));
+    }
+
+    #[test]
+    fn series_plot_shape() {
+        let mut ts = TimeSeries::zeros(100);
+        for d in 0..100u32 {
+            ts.set(DayIndex(d), (d % 10) as f64);
+        }
+        let plot = series(&ts, 20, 5);
+        assert_eq!(plot.lines().count(), 6);
+        assert!(plot.contains('█'));
+        assert!(plot.contains("days per column"));
+    }
+
+    #[test]
+    fn series_plot_zero() {
+        let ts = TimeSeries::zeros(10);
+        assert!(series(&ts, 5, 3).contains("all zero"));
+    }
+
+    #[test]
+    fn histogram_plot() {
+        let mut h = LogHistogram::new(3);
+        h.push(1);
+        h.push(1);
+        h.push(5);
+        h.push(500);
+        let plot = histogram(&h, 10);
+        assert!(plot.contains("n=1"));
+        assert!(plot.lines().count() == 4);
+        // The fullest bar belongs to the n=1 bin.
+        let first_hashes = plot.lines().next().unwrap().matches('#').count();
+        assert_eq!(first_hashes, 10);
+    }
+
+    #[test]
+    fn si_labels() {
+        assert_eq!(si(0.5), "0.5");
+        assert_eq!(si(42.0), "42");
+        assert_eq!(si(1_500.0), "1.5k");
+        assert_eq!(si(2_500_000.0), "2.5M");
+    }
+}

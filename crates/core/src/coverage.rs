@@ -1,0 +1,192 @@
+//! Cross-source coverage: how much of the DoS ecosystem does each
+//! observation infrastructure see?
+//!
+//! The paper is explicit that its two data sets complement each other but
+//! jointly miss *unspoofed* direct attacks (footnote 4), and Section 8
+//! calls for integrating further sources. Given a third data set — botnet
+//! attack events inferred from C&C monitoring (`dosscope-botmon`) — this
+//! module quantifies the blind spot: the share of botnet-driven attacks
+//! whose targets never appear in the telescope or honeypot data, target
+//! overlaps between all three sources, and the per-family breakdown.
+
+use crate::store::EventStore;
+use dosscope_botmon::{BotFamily, BotnetEvent};
+use std::collections::{HashMap, HashSet};
+use std::net::Ipv4Addr;
+
+/// Coverage statistics over the three sources.
+#[derive(Debug, Clone)]
+pub struct CoverageStats {
+    /// Botnet (unspoofed direct) attack events.
+    pub botnet_events: u64,
+    /// Distinct botnet attack targets.
+    pub botnet_targets: u64,
+    /// Botnet targets also seen by the telescope (the victim was *also*
+    /// hit by a randomly spoofed attack at some point).
+    pub shared_with_telescope: u64,
+    /// Botnet targets also seen by the honeypots.
+    pub shared_with_honeypots: u64,
+    /// Botnet targets invisible to both (the paper's blind spot).
+    pub invisible_targets: u64,
+    /// Botnet events whose window overlaps a spoofed/reflection event on
+    /// the same target — multi-vector incidents across all three sources.
+    pub multivector_events: u64,
+    /// Events per family, descending.
+    pub per_family: Vec<(BotFamily, u64)>,
+}
+
+impl CoverageStats {
+    /// Analyze coverage of the botnet event set against the two primary
+    /// sources.
+    pub fn analyze(store: &EventStore, botnet: &[BotnetEvent]) -> CoverageStats {
+        let tele_targets: HashSet<Ipv4Addr> =
+            store.telescope().iter().map(|e| e.target).collect();
+        let hp_targets: HashSet<Ipv4Addr> = store.honeypot().iter().map(|e| e.target).collect();
+
+        let mut targets: HashSet<Ipv4Addr> = HashSet::new();
+        let mut families: HashMap<BotFamily, u64> = HashMap::new();
+        let mut multivector = 0u64;
+        for e in botnet {
+            targets.insert(e.target);
+            *families.entry(e.family).or_default() += 1;
+            let overlaps_primary = store
+                .telescope()
+                .iter()
+                .chain(store.honeypot())
+                .filter(|p| p.target == e.target)
+                .any(|p| p.when.overlaps(&e.when));
+            if overlaps_primary {
+                multivector += 1;
+            }
+        }
+        let shared_tele = targets.intersection(&tele_targets).count() as u64;
+        let shared_hp = targets.intersection(&hp_targets).count() as u64;
+        let invisible = targets
+            .iter()
+            .filter(|t| !tele_targets.contains(t) && !hp_targets.contains(t))
+            .count() as u64;
+        let mut per_family: Vec<(BotFamily, u64)> = families.into_iter().collect();
+        per_family.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+        CoverageStats {
+            botnet_events: botnet.len() as u64,
+            botnet_targets: targets.len() as u64,
+            shared_with_telescope: shared_tele,
+            shared_with_honeypots: shared_hp,
+            invisible_targets: invisible,
+            multivector_events: multivector,
+            per_family,
+        }
+    }
+
+    /// Share of botnet targets invisible to the paper's two data sets.
+    pub fn invisible_share(&self) -> f64 {
+        if self.botnet_targets == 0 {
+            0.0
+        } else {
+            self.invisible_targets as f64 / self.botnet_targets as f64
+        }
+    }
+
+    /// Render a short text report.
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "Coverage (3rd source, C&C monitor): {} botnet events on {} targets; {} shared w/ telescope, {} w/ honeypots; {} ({:.0}%) invisible to both; {} multi-vector events\n",
+            self.botnet_events,
+            self.botnet_targets,
+            self.shared_with_telescope,
+            self.shared_with_honeypots,
+            self.invisible_targets,
+            100.0 * self.invisible_share(),
+            self.multivector_events,
+        );
+        for (family, n) in &self.per_family {
+            s.push_str(&format!("  {family:<12} {n} events\n"));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dosscope_botmon::{AttackMethod, BotnetId};
+    use dosscope_types::{
+        AttackEvent, AttackVector, PortSignature, ReflectionProtocol, SimTime, TimeRange,
+        TransportProto,
+    };
+
+    fn tele(ip: &str, start: u64, end: u64) -> AttackEvent {
+        AttackEvent {
+            target: ip.parse().unwrap(),
+            when: TimeRange::new(SimTime(start), SimTime(end)),
+            vector: AttackVector::RandomlySpoofed {
+                proto: TransportProto::Tcp,
+                ports: PortSignature::Single(80),
+            },
+            packets: 100,
+            bytes: 4000,
+            intensity_pps: 1.0,
+            distinct_sources: 10,
+        }
+    }
+
+    fn hp(ip: &str, start: u64, end: u64) -> AttackEvent {
+        AttackEvent {
+            target: ip.parse().unwrap(),
+            when: TimeRange::new(SimTime(start), SimTime(end)),
+            vector: AttackVector::Reflection {
+                protocol: ReflectionProtocol::Ntp,
+            },
+            packets: 500,
+            bytes: 20_000,
+            intensity_pps: 10.0,
+            distinct_sources: 4,
+        }
+    }
+
+    fn bot(ip: &str, start: u64, end: u64, family: BotFamily) -> BotnetEvent {
+        BotnetEvent {
+            target: ip.parse().unwrap(),
+            when: TimeRange::new(SimTime(start), SimTime(end)),
+            botnet: BotnetId(1),
+            family,
+            method: AttackMethod::HttpFlood,
+            port: 80,
+            explicit_stop: true,
+        }
+    }
+
+    #[test]
+    fn blind_spot_measured() {
+        let mut store = EventStore::new();
+        store.ingest_telescope(vec![tele("10.0.0.1", 100, 500)]);
+        store.ingest_honeypot(vec![hp("10.0.0.2", 100, 500)]);
+        let botnet = vec![
+            // Same target AND overlapping: multi-vector.
+            bot("10.0.0.1", 200, 400, BotFamily::DirtJumper),
+            // Same target as the honeypot set, later in time.
+            bot("10.0.0.2", 9_000, 9_500, BotFamily::Mirai),
+            // Invisible to both.
+            bot("10.0.0.3", 100, 500, BotFamily::Mirai),
+        ];
+        let c = CoverageStats::analyze(&store, &botnet);
+        assert_eq!(c.botnet_events, 3);
+        assert_eq!(c.botnet_targets, 3);
+        assert_eq!(c.shared_with_telescope, 1);
+        assert_eq!(c.shared_with_honeypots, 1);
+        assert_eq!(c.invisible_targets, 1);
+        assert!((c.invisible_share() - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(c.multivector_events, 1);
+        assert_eq!(c.per_family[0], (BotFamily::Mirai, 2));
+        assert!(c.render().contains("Mirai"));
+    }
+
+    #[test]
+    fn empty_botnet_set() {
+        let store = EventStore::new();
+        let c = CoverageStats::analyze(&store, &[]);
+        assert_eq!(c.invisible_share(), 0.0);
+        assert_eq!(c.botnet_events, 0);
+    }
+}

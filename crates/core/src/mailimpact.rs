@@ -1,0 +1,275 @@
+//! Attacks on shared DNS and mail infrastructure — the paper's Section 8
+//! future work, implemented: map targeted IP addresses to the mail
+//! exchangers (`MX` targets) and authoritative name servers of hosting
+//! organisations, and measure how many domains' mail/DNS service was
+//! potentially affected.
+//!
+//! The paper's motivation: "we find that GoDaddy's e-mail servers, which
+//! are used by tens of millions of domain names, are frequently targeted
+//! by DoS attacks", and "we could map targeted IP addresses to
+//! authoritative name servers, and study the potential effect of attacks
+//! on the DNS itself".
+
+use crate::Framework;
+use dosscope_types::{DayIndex, TimeSeries};
+use std::collections::{HashMap, HashSet};
+use std::net::Ipv4Addr;
+
+/// Impact on one class of shared infrastructure (mail or DNS).
+pub struct InfraImpact {
+    /// Attack events whose target was an infrastructure address.
+    pub events: u64,
+    /// Distinct infrastructure addresses attacked.
+    pub targeted_ips: u64,
+    /// Distinct domains whose service was potentially affected at least
+    /// once.
+    pub affected_domains: u64,
+    /// Domains potentially affected per day.
+    pub daily_domains: TimeSeries,
+    /// Affected domains per operating organisation, descending.
+    pub top_orgs: Vec<(String, u64)>,
+}
+
+/// The combined mail + name-server analysis.
+pub struct InfrastructureImpact {
+    /// Mail-exchanger impact.
+    pub mail: InfraImpact,
+    /// Authoritative-name-server impact.
+    pub dns: InfraImpact,
+}
+
+impl InfrastructureImpact {
+    /// Run the infrastructure join. Returns `None` when the framework has
+    /// no DNS data attached.
+    pub fn analyze(fw: &Framework<'_>) -> Option<InfrastructureImpact> {
+        let zone = fw.zone?;
+        let catalog = fw.catalog?;
+        let days = fw.days;
+
+        let mut mail = Accum::new(days);
+        let mut dns = Accum::new(days);
+
+        for e in fw.store.all() {
+            let day = e.when.start.day();
+            if day.0 >= days {
+                continue;
+            }
+            if let Some(org) = zone.mail_org_at(e.target) {
+                let domains = zone.domains_of_org(org, day);
+                mail.record(e.target, day, &domains, &catalog.get(org).name);
+            }
+            if let Some(org) = zone.ns_org_at(e.target) {
+                let domains = zone.domains_of_org(org, day);
+                dns.record(e.target, day, &domains, &catalog.get(org).name);
+            }
+        }
+
+        Some(InfrastructureImpact {
+            mail: mail.finish(),
+            dns: dns.finish(),
+        })
+    }
+
+    /// Render a short text report.
+    pub fn render(&self) -> String {
+        let mut s = String::from("Infrastructure impact (Section 8 extension)\n");
+        for (label, i) in [("mail (MX)", &self.mail), ("DNS (NS)", &self.dns)] {
+            s.push_str(&format!(
+                "  {label}: {} events on {} addresses; {} domains affected at least once (mean {:.0}/day)\n",
+                i.events,
+                i.targeted_ips,
+                i.affected_domains,
+                i.daily_domains.daily_mean(),
+            ));
+            for (org, n) in i.top_orgs.iter().take(3) {
+                s.push_str(&format!("    {org:<28} {n} domains\n"));
+            }
+        }
+        s
+    }
+}
+
+struct Accum {
+    events: u64,
+    ips: HashSet<Ipv4Addr>,
+    affected: HashSet<u32>,
+    daily: TimeSeries,
+    per_org: HashMap<String, HashSet<u32>>,
+}
+
+impl Accum {
+    fn new(days: u32) -> Accum {
+        Accum {
+            events: 0,
+            ips: HashSet::new(),
+            affected: HashSet::new(),
+            daily: TimeSeries::zeros(days),
+            per_org: HashMap::new(),
+        }
+    }
+
+    fn record(
+        &mut self,
+        target: Ipv4Addr,
+        day: DayIndex,
+        domains: &[dosscope_dns::DomainId],
+        org: &str,
+    ) {
+        self.events += 1;
+        self.ips.insert(target);
+        self.daily.add(day, domains.len() as f64);
+        let org_set = self.per_org.entry(org.to_string()).or_default();
+        for d in domains {
+            self.affected.insert(d.0);
+            org_set.insert(d.0);
+        }
+    }
+
+    fn finish(self) -> InfraImpact {
+        let mut top_orgs: Vec<(String, u64)> = self
+            .per_org
+            .into_iter()
+            .map(|(k, v)| (k, v.len() as u64))
+            .collect();
+        top_orgs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        InfraImpact {
+            events: self.events,
+            targeted_ips: self.ips.len() as u64,
+            affected_domains: self.affected.len() as u64,
+            daily_domains: self.daily,
+            top_orgs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EventStore;
+    use dosscope_dns::{DayRange, OrgCatalog, OrgInfra, OrgRole, Placement, Tld, ZoneStore};
+    use dosscope_geo::{AsDb, GeoDb};
+    use dosscope_types::{
+        AttackEvent, AttackVector, PortSignature, SimTime, TimeRange, TransportProto,
+        SECS_PER_DAY,
+    };
+
+    fn tele(ip: &str, day: u64) -> AttackEvent {
+        AttackEvent {
+            target: ip.parse().unwrap(),
+            when: TimeRange::new(
+                SimTime(day * SECS_PER_DAY + 100),
+                SimTime(day * SECS_PER_DAY + 400),
+            ),
+            vector: AttackVector::RandomlySpoofed {
+                proto: TransportProto::Tcp,
+                ports: PortSignature::Single(25),
+            },
+            packets: 100,
+            bytes: 4000,
+            intensity_pps: 1.0,
+            distinct_sources: 10,
+        }
+    }
+
+    struct World {
+        zone: ZoneStore,
+        catalog: OrgCatalog,
+        geo: GeoDb,
+        asdb: AsDb,
+    }
+
+    fn world() -> World {
+        let mut catalog = OrgCatalog::new();
+        let hoster = catalog.add("MailHost", None, OrgRole::Hoster, false);
+        let other = catalog.add("Other", None, OrgRole::Hoster, false);
+        let mut zone = ZoneStore::new();
+        for i in 0..5 {
+            let d = zone.add_domain(Tld::Com, DayRange::new(DayIndex(0), DayIndex(30)));
+            zone.place(Placement {
+                domain: d,
+                ip: format!("10.0.0.{}", i + 1).parse().unwrap(),
+                days: DayRange::new(DayIndex(0), DayIndex(30)),
+                ns: hoster,
+                cname: None,
+            });
+        }
+        // One domain at another org, to check isolation.
+        let d = zone.add_domain(Tld::Net, DayRange::new(DayIndex(0), DayIndex(30)));
+        zone.place(Placement {
+            domain: d,
+            ip: "10.0.1.1".parse().unwrap(),
+            days: DayRange::new(DayIndex(0), DayIndex(30)),
+            ns: other,
+            cname: None,
+        });
+        zone.register_infra(OrgInfra {
+            org: hoster,
+            mx_ips: vec!["10.9.9.9".parse().unwrap()],
+            ns_ips: vec!["10.9.9.10".parse().unwrap()],
+        });
+        World {
+            zone,
+            catalog,
+            geo: GeoDb::new(),
+            asdb: AsDb::new(),
+        }
+    }
+
+    #[test]
+    fn mail_attack_affects_all_org_domains() {
+        let w = world();
+        let mut store = EventStore::new();
+        store.ingest_telescope(vec![tele("10.9.9.9", 3)]);
+        let fw = Framework::new(store, &w.geo, &w.asdb, 30).with_dns(&w.zone, &w.catalog);
+        let impact = InfrastructureImpact::analyze(&fw).expect("dns attached");
+        assert_eq!(impact.mail.events, 1);
+        assert_eq!(impact.mail.targeted_ips, 1);
+        assert_eq!(impact.mail.affected_domains, 5, "all MailHost domains");
+        assert_eq!(impact.mail.daily_domains.get(DayIndex(3)), 5.0);
+        assert_eq!(impact.mail.top_orgs[0], ("MailHost".to_string(), 5));
+        // No NS addresses were attacked.
+        assert_eq!(impact.dns.events, 0);
+        assert_eq!(impact.dns.affected_domains, 0);
+    }
+
+    #[test]
+    fn ns_attack_tracked_separately() {
+        let w = world();
+        let mut store = EventStore::new();
+        store.ingest_telescope(vec![tele("10.9.9.10", 7)]);
+        let fw = Framework::new(store, &w.geo, &w.asdb, 30).with_dns(&w.zone, &w.catalog);
+        let impact = InfrastructureImpact::analyze(&fw).unwrap();
+        assert_eq!(impact.dns.events, 1);
+        assert_eq!(impact.dns.affected_domains, 5);
+        assert_eq!(impact.mail.events, 0);
+    }
+
+    #[test]
+    fn ordinary_attacks_do_not_count() {
+        let w = world();
+        let mut store = EventStore::new();
+        store.ingest_telescope(vec![tele("10.0.0.1", 3)]); // a hosting IP
+        let fw = Framework::new(store, &w.geo, &w.asdb, 30).with_dns(&w.zone, &w.catalog);
+        let impact = InfrastructureImpact::analyze(&fw).unwrap();
+        assert_eq!(impact.mail.events + impact.dns.events, 0);
+    }
+
+    #[test]
+    fn render_mentions_orgs() {
+        let w = world();
+        let mut store = EventStore::new();
+        store.ingest_telescope(vec![tele("10.9.9.9", 3)]);
+        let fw = Framework::new(store, &w.geo, &w.asdb, 30).with_dns(&w.zone, &w.catalog);
+        let impact = InfrastructureImpact::analyze(&fw).unwrap();
+        let text = impact.render();
+        assert!(text.contains("MailHost"));
+        assert!(text.contains("5 domains"));
+    }
+
+    #[test]
+    fn requires_dns_data() {
+        let w = world();
+        let fw = Framework::new(EventStore::new(), &w.geo, &w.asdb, 30);
+        assert!(InfrastructureImpact::analyze(&fw).is_none());
+    }
+}

@@ -1,0 +1,200 @@
+//! Event ingestion and the per-source aggregates of Table 1.
+
+use dosscope_types::{AttackEvent, EventSource, Prefix16, Prefix24};
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+
+/// Aggregate counts for one source (a row of Table 1). ASN counting needs
+/// the enrichment metadata and lives in [`crate::report`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SourceSummary {
+    /// Attack events.
+    pub events: u64,
+    /// Unique target IP addresses.
+    pub targets: u64,
+    /// Unique /24 blocks with at least one target.
+    pub blocks24: u64,
+    /// Unique /16 blocks with at least one target.
+    pub blocks16: u64,
+}
+
+/// The ingested event sets, kept sorted by start time per source.
+#[derive(Debug, Default)]
+pub struct EventStore {
+    telescope: Vec<AttackEvent>,
+    honeypot: Vec<AttackEvent>,
+}
+
+impl EventStore {
+    /// Empty store.
+    pub fn new() -> EventStore {
+        EventStore::default()
+    }
+
+    /// Ingest the telescope detector's events (any order; re-sorted).
+    pub fn ingest_telescope(&mut self, events: Vec<AttackEvent>) {
+        debug_assert!(events
+            .iter()
+            .all(|e| e.source() == EventSource::Telescope));
+        self.telescope.extend(events);
+        self.telescope.sort_by_key(|e| (e.when.start, e.target));
+    }
+
+    /// Ingest the honeypot fleet's events (any order; re-sorted).
+    pub fn ingest_honeypot(&mut self, events: Vec<AttackEvent>) {
+        debug_assert!(events.iter().all(|e| e.source() == EventSource::Honeypot));
+        self.honeypot.extend(events);
+        self.honeypot.sort_by_key(|e| (e.when.start, e.target));
+    }
+
+    /// Telescope events, sorted by start.
+    pub fn telescope(&self) -> &[AttackEvent] {
+        &self.telescope
+    }
+
+    /// Honeypot events, sorted by start.
+    pub fn honeypot(&self) -> &[AttackEvent] {
+        &self.honeypot
+    }
+
+    /// Both sources chained (telescope first; not globally sorted).
+    pub fn all(&self) -> impl Iterator<Item = &AttackEvent> {
+        self.telescope.iter().chain(self.honeypot.iter())
+    }
+
+    /// Events of one source.
+    pub fn of(&self, source: EventSource) -> &[AttackEvent] {
+        match source {
+            EventSource::Telescope => &self.telescope,
+            EventSource::Honeypot => &self.honeypot,
+        }
+    }
+
+    /// Total event count.
+    pub fn len(&self) -> usize {
+        self.telescope.len() + self.honeypot.len()
+    }
+
+    /// True when nothing was ingested.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Per-source aggregates over an arbitrary event set.
+    pub fn summarize<'a>(events: impl Iterator<Item = &'a AttackEvent>) -> SourceSummary {
+        let mut targets: HashSet<Ipv4Addr> = HashSet::new();
+        let mut blocks24: HashSet<Prefix24> = HashSet::new();
+        let mut blocks16: HashSet<Prefix16> = HashSet::new();
+        let mut n = 0u64;
+        for e in events {
+            n += 1;
+            targets.insert(e.target);
+            blocks24.insert(Prefix24::of(e.target));
+            blocks16.insert(Prefix16::of(e.target));
+        }
+        SourceSummary {
+            events: n,
+            targets: targets.len() as u64,
+            blocks24: blocks24.len() as u64,
+            blocks16: blocks16.len() as u64,
+        }
+    }
+
+    /// The Table 1 aggregate for one source.
+    pub fn summary(&self, source: EventSource) -> SourceSummary {
+        Self::summarize(self.of(source).iter())
+    }
+
+    /// The Table 1 aggregate for the combined data.
+    pub fn summary_combined(&self) -> SourceSummary {
+        Self::summarize(self.all())
+    }
+
+    /// Unique targets common to both sources (the paper's 282 k).
+    pub fn common_targets(&self) -> u64 {
+        let t: HashSet<Ipv4Addr> = self.telescope.iter().map(|e| e.target).collect();
+        self.honeypot
+            .iter()
+            .map(|e| e.target)
+            .collect::<HashSet<_>>()
+            .intersection(&t)
+            .count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dosscope_types::{AttackVector, PortSignature, ReflectionProtocol, SimTime, TimeRange, TransportProto};
+
+    fn tele(ip: &str, start: u64) -> AttackEvent {
+        AttackEvent {
+            target: ip.parse().unwrap(),
+            when: TimeRange::new(SimTime(start), SimTime(start + 100)),
+            vector: AttackVector::RandomlySpoofed {
+                proto: TransportProto::Tcp,
+                ports: PortSignature::Single(80),
+            },
+            packets: 100,
+            bytes: 4000,
+            intensity_pps: 1.0,
+            distinct_sources: 10,
+        }
+    }
+
+    fn hp(ip: &str, start: u64) -> AttackEvent {
+        AttackEvent {
+            target: ip.parse().unwrap(),
+            when: TimeRange::new(SimTime(start), SimTime(start + 100)),
+            vector: AttackVector::Reflection {
+                protocol: ReflectionProtocol::Ntp,
+            },
+            packets: 200,
+            bytes: 8000,
+            intensity_pps: 5.0,
+            distinct_sources: 4,
+        }
+    }
+
+    #[test]
+    fn summaries() {
+        let mut s = EventStore::new();
+        s.ingest_telescope(vec![
+            tele("10.0.0.1", 50),
+            tele("10.0.0.2", 10),
+            tele("10.0.0.1", 500),
+        ]);
+        s.ingest_honeypot(vec![hp("10.0.1.1", 30), hp("10.0.0.1", 90)]);
+
+        let t = s.summary(EventSource::Telescope);
+        assert_eq!(t.events, 3);
+        assert_eq!(t.targets, 2);
+        assert_eq!(t.blocks24, 1);
+        assert_eq!(t.blocks16, 1);
+
+        let h = s.summary(EventSource::Honeypot);
+        assert_eq!(h.events, 2);
+        assert_eq!(h.targets, 2);
+        assert_eq!(h.blocks24, 2);
+
+        let c = s.summary_combined();
+        assert_eq!(c.events, 5);
+        assert_eq!(c.targets, 3, "overlapping target counted once");
+        assert_eq!(s.common_targets(), 1);
+    }
+
+    #[test]
+    fn ingest_sorts_by_start() {
+        let mut s = EventStore::new();
+        s.ingest_telescope(vec![tele("10.0.0.1", 500), tele("10.0.0.2", 10)]);
+        assert!(s.telescope().windows(2).all(|w| w[0].when.start <= w[1].when.start));
+    }
+
+    #[test]
+    fn empty_store() {
+        let s = EventStore::new();
+        assert!(s.is_empty());
+        assert_eq!(s.summary_combined(), SourceSummary::default());
+        assert_eq!(s.common_targets(), 0);
+    }
+}

@@ -1,0 +1,506 @@
+//! The effect of attacks on the Web (Section 5): joining attack events
+//! with the active DNS measurement.
+//!
+//! A Web site is *involved* in an attack when its `www` A record resolved
+//! to the attacked IP address on the day the attack started. The analysis
+//! produces Figure 6 (co-hosting groups of attacked IPs), Figure 7 (Web
+//! sites on attacked IPs per day), the "isolating Web targets" protocol
+//! shifts, and the per-site attack records that Section 6's migration
+//! analyses consume.
+
+use crate::Framework;
+use dosscope_dns::DomainId;
+use dosscope_types::{
+    AttackEvent, DayIndex, EventSource, LogHistogram, PortSignature, ReflectionProtocol,
+    TimeSeries, TransportProto,
+};
+use std::collections::{HashMap, HashSet};
+use std::net::Ipv4Addr;
+
+/// Per-site attack history, the input to the migration analyses.
+#[derive(Debug, Clone, Copy)]
+pub struct SiteAttackRecord {
+    /// Number of attacks associated with the site.
+    pub count: u32,
+    /// Day of the first associated attack.
+    pub first_attack_day: DayIndex,
+    /// Highest normalized intensity over associated attacks (see
+    /// [`IntensityNormalizer`]).
+    pub best_norm_intensity: f64,
+    /// Day of that most intense attack.
+    pub best_intensity_day: DayIndex,
+    /// Day of an associated honeypot attack lasting ≥ 4 h, if any
+    /// (Figure 11's duration class; telescope durations are excluded
+    /// because successful attacks suppress backscatter).
+    pub long4h_day: Option<DayIndex>,
+}
+
+/// Per-source min-max normalization of log intensity.
+///
+/// The paper normalizes attack intensity per data set before comparing
+/// across sets (Table 9); we normalize the logarithm, since both published
+/// intensity distributions are log-scaled and span 5-6 decades.
+#[derive(Debug, Clone, Copy)]
+pub struct IntensityNormalizer {
+    tele_min_ln: f64,
+    tele_span_ln: f64,
+    hp_min_ln: f64,
+    hp_span_ln: f64,
+}
+
+impl IntensityNormalizer {
+    /// Fit over the ingested events.
+    pub fn fit(store: &crate::EventStore) -> IntensityNormalizer {
+        let fit_one = |events: &[AttackEvent]| -> (f64, f64) {
+            let mut min = f64::INFINITY;
+            let mut max = f64::NEG_INFINITY;
+            for e in events {
+                let l = e.intensity_pps.max(1e-9).ln();
+                min = min.min(l);
+                max = max.max(l);
+            }
+            if !min.is_finite() || max <= min {
+                (0.0, 1.0)
+            } else {
+                (min, max - min)
+            }
+        };
+        let (tmin, tspan) = fit_one(store.telescope());
+        let (hmin, hspan) = fit_one(store.honeypot());
+        IntensityNormalizer {
+            tele_min_ln: tmin,
+            tele_span_ln: tspan,
+            hp_min_ln: hmin,
+            hp_span_ln: hspan,
+        }
+    }
+
+    /// The normalized intensity of an event in [0, 1].
+    pub fn normalize(&self, e: &AttackEvent) -> f64 {
+        let l = e.intensity_pps.max(1e-9).ln();
+        let v = match e.source() {
+            EventSource::Telescope => (l - self.tele_min_ln) / self.tele_span_ln,
+            EventSource::Honeypot => (l - self.hp_min_ln) / self.hp_span_ln,
+        };
+        v.clamp(0.0, 1.0)
+    }
+}
+
+/// The Section 5 results.
+pub struct WebImpact {
+    /// Distinct Web sites ever on an attacked IP (the paper: 134 M, 64 %).
+    pub affected_total: u64,
+    /// Total sites in the namespace (210 M scaled).
+    pub total_sites: u64,
+    /// Sites on attacked IPs per day — Figure 7 top.
+    pub daily_sites: TimeSeries,
+    /// Same, for medium+ intensity attacks — Figure 7 bottom.
+    pub daily_sites_medium: TimeSeries,
+    /// Unique target IPs hosting at least one site (572 k, ≥ 9 %).
+    pub web_ip_count: u64,
+    /// All unique target IPs.
+    pub target_ip_count: u64,
+    /// Co-hosting histogram over attacked IPs — Figure 6.
+    pub cohosting: LogHistogram,
+    /// The same histogram split per TLD — the paper verifies the three
+    /// individual distributions share Figure 6's shape.
+    pub cohosting_by_tld: [(dosscope_dns::Tld, LogHistogram); 3],
+    /// The attacked IP with the largest co-hosting group and that group's
+    /// size (the paper traces its maximum to an IP routed by DOSarrest).
+    pub biggest_cohost: Option<(Ipv4Addr, u64)>,
+    /// Per-site attack records for the migration analyses.
+    pub site_records: HashMap<DomainId, SiteAttackRecord>,
+    /// TCP share among telescope events on Web-hosting IPs (93.4 %).
+    pub web_tcp_share: f64,
+    /// Web-port share among single-port TCP telescope events on
+    /// Web-hosting IPs (87.6 %).
+    pub web_port_share: f64,
+    /// NTP share among honeypot events on Web-hosting IPs (54.69 %).
+    pub web_ntp_share: f64,
+    /// The fitted intensity normalizer (reused by Section 6).
+    pub normalizer: IntensityNormalizer,
+}
+
+impl WebImpact {
+    /// Run the Web-association join. Returns `None` when the framework has
+    /// no DNS data attached.
+    pub fn analyze(fw: &Framework<'_>) -> Option<WebImpact> {
+        let zone = fw.zone?;
+        let days = fw.days;
+        let normalizer = IntensityNormalizer::fit(&fw.store);
+        let tele_cutoff = crate::timeseries::mean_intensity(fw.store.telescope().iter());
+        let hp_cutoff = crate::timeseries::mean_intensity(fw.store.honeypot().iter());
+
+        let mut daily: Vec<HashSet<u32>> = vec![HashSet::new(); days as usize];
+        let mut daily_medium: Vec<HashSet<u32>> = vec![HashSet::new(); days as usize];
+        let mut affected: HashSet<u32> = HashSet::new();
+        let mut records: HashMap<DomainId, SiteAttackRecord> = HashMap::new();
+        let mut target_ips: HashSet<Ipv4Addr> = HashSet::new();
+        let mut web_ips: HashSet<Ipv4Addr> = HashSet::new();
+        let mut first_seen_ip: HashMap<Ipv4Addr, usize> = HashMap::new();
+        let mut cohosting = LogHistogram::new(7);
+        let mut cohosting_by_tld = [
+            (dosscope_dns::Tld::Com, LogHistogram::new(7)),
+            (dosscope_dns::Tld::Net, LogHistogram::new(7)),
+            (dosscope_dns::Tld::Org, LogHistogram::new(7)),
+        ];
+        let mut biggest_cohost: Option<(Ipv4Addr, u64)> = None;
+
+        // Protocol-shift counters over events on Web-hosting IPs.
+        let mut tele_web_events = 0u64;
+        let mut tele_web_tcp = 0u64;
+        let mut tele_web_tcp_single = 0u64;
+        let mut tele_web_tcp_single_webport = 0u64;
+        let mut hp_web_events = 0u64;
+        let mut hp_web_ntp = 0u64;
+
+        for e in fw.store.all() {
+            let day = e.when.start.day();
+            if day.0 >= days {
+                continue;
+            }
+            target_ips.insert(e.target);
+            let sites = zone.domains_on_ip(e.target, day);
+
+            // Figure 6: each target IP contributes once, with its site
+            // count at the time of its first observed attack.
+            if !first_seen_ip.contains_key(&e.target) {
+                first_seen_ip.insert(e.target, sites.len());
+                cohosting.push(sites.len() as u64);
+                for (tld, hist) in cohosting_by_tld.iter_mut() {
+                    let n = sites.iter().filter(|d| zone.tld_of(**d) == *tld).count();
+                    hist.push(n as u64);
+                }
+                if sites.len() as u64 > biggest_cohost.map_or(0, |(_, n)| n) {
+                    biggest_cohost = Some((e.target, sites.len() as u64));
+                }
+            }
+            if sites.is_empty() {
+                continue;
+            }
+            web_ips.insert(e.target);
+
+            // Protocol shifts for Web targets.
+            match e.source() {
+                EventSource::Telescope => {
+                    tele_web_events += 1;
+                    if e.transport_proto() == Some(TransportProto::Tcp) {
+                        tele_web_tcp += 1;
+                        if let Some(PortSignature::Single(p)) = e.port_signature() {
+                            tele_web_tcp_single += 1;
+                            if dosscope_types::service::is_web_port(p) {
+                                tele_web_tcp_single_webport += 1;
+                            }
+                        }
+                    }
+                }
+                EventSource::Honeypot => {
+                    hp_web_events += 1;
+                    if e.reflection_protocol() == Some(ReflectionProtocol::Ntp) {
+                        hp_web_ntp += 1;
+                    }
+                }
+            }
+
+            let medium = match e.source() {
+                EventSource::Telescope => e.intensity_pps >= tele_cutoff,
+                EventSource::Honeypot => e.intensity_pps >= hp_cutoff,
+            };
+            let norm = normalizer.normalize(e);
+            let long4h = e.source() == EventSource::Honeypot
+                && e.duration_secs() >= 4 * dosscope_types::SECS_PER_HOUR;
+
+            for site in sites {
+                daily[day.0 as usize].insert(site.0);
+                if medium {
+                    daily_medium[day.0 as usize].insert(site.0);
+                }
+                affected.insert(site.0);
+                let rec = records.entry(site).or_insert(SiteAttackRecord {
+                    count: 0,
+                    first_attack_day: day,
+                    best_norm_intensity: -1.0,
+                    best_intensity_day: day,
+                    long4h_day: None,
+                });
+                rec.count += 1;
+                rec.first_attack_day = rec.first_attack_day.min(day);
+                if norm > rec.best_norm_intensity {
+                    rec.best_norm_intensity = norm;
+                    rec.best_intensity_day = day;
+                }
+                if long4h && rec.long4h_day.is_none() {
+                    rec.long4h_day = Some(day);
+                }
+            }
+        }
+
+        let to_series = |sets: Vec<HashSet<u32>>| {
+            let mut ts = TimeSeries::zeros(days);
+            for (i, s) in sets.into_iter().enumerate() {
+                ts.set(DayIndex(i as u32), s.len() as f64);
+            }
+            ts
+        };
+        let share = |n: u64, d: u64| if d == 0 { 0.0 } else { n as f64 / d as f64 };
+
+        Some(WebImpact {
+            affected_total: affected.len() as u64,
+            total_sites: zone.domain_count() as u64,
+            daily_sites: to_series(daily),
+            daily_sites_medium: to_series(daily_medium),
+            web_ip_count: web_ips.len() as u64,
+            target_ip_count: target_ips.len() as u64,
+            cohosting,
+            cohosting_by_tld,
+            biggest_cohost,
+            site_records: records,
+            web_tcp_share: share(tele_web_tcp, tele_web_events),
+            web_port_share: share(tele_web_tcp_single_webport, tele_web_tcp_single),
+            web_ntp_share: share(hp_web_ntp, hp_web_events),
+            normalizer,
+        })
+    }
+
+    /// Fraction of the namespace ever involved with attacks (64 % in the
+    /// paper).
+    pub fn affected_fraction(&self) -> f64 {
+        if self.total_sites == 0 {
+            0.0
+        } else {
+            self.affected_total as f64 / self.total_sites as f64
+        }
+    }
+
+    /// Mean number of sites involved per day, and as a fraction of the
+    /// namespace (≈ 4 M, ≈ 3 % in the paper).
+    pub fn mean_daily_sites(&self) -> (f64, f64) {
+        let mean = self.daily_sites.daily_mean();
+        let frac = if self.total_sites == 0 {
+            0.0
+        } else {
+            mean / self.total_sites as f64
+        };
+        (mean, frac)
+    }
+
+    /// The biggest daily peak as a fraction of the namespace (11.82 % in
+    /// the paper).
+    pub fn peak_fraction(&self) -> (DayIndex, f64) {
+        match self.daily_sites.peak() {
+            Some((day, v)) if self.total_sites > 0 => (day, v / self.total_sites as f64),
+            _ => (DayIndex(0), 0.0),
+        }
+    }
+}
+
+/// Identify the parties behind the Web sites affected on one day: counts
+/// of affected sites per hosting organisation (by CNAME, then NS), the way
+/// Section 5 names GoDaddy/WordPress/Wix behind the peaks.
+pub fn parties_on_day(fw: &Framework<'_>, day: DayIndex) -> Vec<(String, u64)> {
+    let (Some(zone), Some(catalog)) = (fw.zone, fw.catalog) else {
+        return Vec::new();
+    };
+    let mut counts: HashMap<String, u64> = HashMap::new();
+    let mut seen_ip: HashSet<Ipv4Addr> = HashSet::new();
+    for e in fw.store.all() {
+        if e.when.start.day() != day || !seen_ip.insert(e.target) {
+            continue;
+        }
+        for p in zone.placements_on_ip(e.target, day) {
+            let org = p.cname.unwrap_or(p.ns);
+            *counts.entry(catalog.get(org).name.clone()).or_default() += 1;
+        }
+    }
+    let mut out: Vec<(String, u64)> = counts.into_iter().collect();
+    out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EventStore;
+    use dosscope_dns::{DayRange, OrgCatalog, OrgId, OrgRole, Placement, Tld, ZoneStore};
+    use dosscope_geo::{AsDb, GeoDb};
+    use dosscope_types::{AttackVector, SimTime, TimeRange, SECS_PER_DAY};
+
+    fn tele(ip: &str, day: u64, intensity: f64, port: u16) -> AttackEvent {
+        AttackEvent {
+            target: ip.parse().unwrap(),
+            when: TimeRange::new(
+                SimTime(day * SECS_PER_DAY + 100),
+                SimTime(day * SECS_PER_DAY + 400),
+            ),
+            vector: AttackVector::RandomlySpoofed {
+                proto: TransportProto::Tcp,
+                ports: PortSignature::Single(port),
+            },
+            packets: 100,
+            bytes: 4000,
+            intensity_pps: intensity,
+            distinct_sources: 10,
+        }
+    }
+
+    fn hp(ip: &str, day: u64, dur: u64, protocol: ReflectionProtocol) -> AttackEvent {
+        AttackEvent {
+            target: ip.parse().unwrap(),
+            when: TimeRange::new(
+                SimTime(day * SECS_PER_DAY + 100),
+                SimTime(day * SECS_PER_DAY + 100 + dur),
+            ),
+            vector: AttackVector::Reflection { protocol },
+            packets: 500,
+            bytes: 20_000,
+            intensity_pps: 10.0,
+            distinct_sources: 4,
+        }
+    }
+
+    struct World {
+        zone: ZoneStore,
+        catalog: OrgCatalog,
+        geo: GeoDb,
+        asdb: AsDb,
+    }
+
+    fn world() -> (World, OrgId) {
+        let mut catalog = OrgCatalog::new();
+        let hoster = catalog.add("BigHost", None, OrgRole::Hoster, false);
+        let mut zone = ZoneStore::new();
+        // Three sites co-hosted on one IP, one site alone on another.
+        for _ in 0..3 {
+            let d = zone.add_domain(Tld::Com, DayRange::new(DayIndex(0), DayIndex(30)));
+            zone.place(Placement {
+                domain: d,
+                ip: "10.0.0.1".parse().unwrap(),
+                days: DayRange::new(DayIndex(0), DayIndex(30)),
+                ns: hoster,
+                cname: None,
+            });
+        }
+        let d = zone.add_domain(Tld::Org, DayRange::new(DayIndex(0), DayIndex(30)));
+        zone.place(Placement {
+            domain: d,
+            ip: "10.0.0.2".parse().unwrap(),
+            days: DayRange::new(DayIndex(0), DayIndex(30)),
+            ns: hoster,
+            cname: None,
+        });
+        (
+            World {
+                zone,
+                catalog,
+                geo: GeoDb::new(),
+                asdb: AsDb::new(),
+            },
+            hoster,
+        )
+    }
+
+    fn framework<'a>(w: &'a World, store: EventStore) -> Framework<'a> {
+        Framework::new(store, &w.geo, &w.asdb, 30).with_dns(&w.zone, &w.catalog)
+    }
+
+    #[test]
+    fn web_association_join() {
+        let (w, _) = world();
+        let mut store = EventStore::new();
+        store.ingest_telescope(vec![
+            tele("10.0.0.1", 3, 5.0, 80), // hits 3 sites
+            tele("10.0.0.9", 4, 1.0, 80), // hits nothing
+        ]);
+        store.ingest_honeypot(vec![hp("10.0.0.2", 5, 5 * 3600, ReflectionProtocol::Ntp)]);
+        let fw = framework(&w, store);
+        let wi = WebImpact::analyze(&fw).expect("zone attached");
+        assert_eq!(wi.affected_total, 4);
+        assert_eq!(wi.total_sites, 4);
+        assert!((wi.affected_fraction() - 1.0).abs() < 1e-9);
+        assert_eq!(wi.daily_sites.get(DayIndex(3)), 3.0);
+        assert_eq!(wi.daily_sites.get(DayIndex(5)), 1.0);
+        assert_eq!(wi.web_ip_count, 2);
+        assert_eq!(wi.target_ip_count, 3);
+        // Figure 6: one IP with 3 sites (bin 1), one with 1 (bin 0);
+        // 10.0.0.9 hosts nothing and is excluded.
+        assert_eq!(wi.cohosting.bins()[0], 1);
+        assert_eq!(wi.cohosting.bins()[1], 1);
+        assert_eq!(wi.cohosting.total(), 2);
+    }
+
+    #[test]
+    fn site_records_track_history() {
+        let (w, _) = world();
+        let mut store = EventStore::new();
+        store.ingest_telescope(vec![
+            tele("10.0.0.1", 3, 2.0, 80),
+            tele("10.0.0.1", 7, 50.0, 80),
+        ]);
+        store.ingest_honeypot(vec![hp("10.0.0.1", 9, 5 * 3600, ReflectionProtocol::Ntp)]);
+        let fw = framework(&w, store);
+        let wi = WebImpact::analyze(&fw).unwrap();
+        let rec = wi.site_records.values().next().unwrap();
+        assert_eq!(rec.count, 3);
+        assert_eq!(rec.first_attack_day, DayIndex(3));
+        assert_eq!(rec.long4h_day, Some(DayIndex(9)));
+        // The day-7 attack is the most intense telescope event.
+        assert!(rec.best_intensity_day == DayIndex(7) || rec.best_norm_intensity >= 0.99);
+    }
+
+    #[test]
+    fn web_protocol_shares() {
+        let (w, _) = world();
+        let mut store = EventStore::new();
+        store.ingest_telescope(vec![
+            tele("10.0.0.1", 1, 1.0, 80),
+            tele("10.0.0.1", 2, 1.0, 443),
+            tele("10.0.0.1", 3, 1.0, 3306),
+        ]);
+        store.ingest_honeypot(vec![
+            hp("10.0.0.2", 1, 600, ReflectionProtocol::Ntp),
+            hp("10.0.0.2", 2, 600, ReflectionProtocol::Dns),
+        ]);
+        let fw = framework(&w, store);
+        let wi = WebImpact::analyze(&fw).unwrap();
+        assert_eq!(wi.web_tcp_share, 1.0);
+        assert!((wi.web_port_share - 2.0 / 3.0).abs() < 1e-9);
+        assert!((wi.web_ntp_share - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parties_identified() {
+        let (w, _) = world();
+        let mut store = EventStore::new();
+        store.ingest_telescope(vec![tele("10.0.0.1", 3, 5.0, 80)]);
+        let fw = framework(&w, store);
+        let parties = parties_on_day(&fw, DayIndex(3));
+        assert_eq!(parties.len(), 1);
+        assert_eq!(parties[0].0, "BigHost");
+        assert_eq!(parties[0].1, 3);
+        assert!(parties_on_day(&fw, DayIndex(9)).is_empty());
+    }
+
+    #[test]
+    fn no_zone_returns_none() {
+        let (w, _) = world();
+        let store = EventStore::new();
+        let fw = Framework::new(store, &w.geo, &w.asdb, 30);
+        assert!(WebImpact::analyze(&fw).is_none());
+    }
+
+    #[test]
+    fn normalizer_bounds() {
+        let mut store = EventStore::new();
+        store.ingest_telescope(vec![
+            tele("10.0.0.1", 1, 0.5, 80),
+            tele("10.0.0.2", 1, 5000.0, 80),
+        ]);
+        let n = IntensityNormalizer::fit(&store);
+        let lo = n.normalize(&tele("10.0.0.1", 1, 0.5, 80));
+        let hi = n.normalize(&tele("10.0.0.1", 1, 5000.0, 80));
+        assert!((lo - 0.0).abs() < 1e-9);
+        assert!((hi - 1.0).abs() < 1e-9);
+        let mid = n.normalize(&tele("10.0.0.1", 1, 50.0, 80));
+        assert!(mid > 0.0 && mid < 1.0);
+    }
+}

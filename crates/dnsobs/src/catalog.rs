@@ -1,0 +1,181 @@
+//! The organisation catalog: hosting companies, clouds and DPS providers
+//! as they appear *in the DNS* (name-server names, CNAME suffixes) and in
+//! BGP (origin AS).
+//!
+//! The paper identifies large parties behind attacked IPs "by looking at
+//! routing information..., by looking at a common name server in the NS
+//! record, or a common CNAME through which Web sites expand to the shared
+//! IP address" — this catalog is the dictionary those identifications
+//! resolve against.
+
+use dosscope_types::Asn;
+
+/// Index of an organisation in the catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OrgId(pub u16);
+
+/// The role an organisation plays for a Web site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OrgRole {
+    /// Classic Web hoster (GoDaddy, OVH, ...).
+    Hoster,
+    /// Public cloud that hosts other companies' platforms (AWS, GCP).
+    Cloud,
+    /// Web-site building platform (Wix, Squarespace, WordPress).
+    Platform,
+    /// DDoS protection service.
+    Dps,
+    /// Domain registrar/reseller parking pages.
+    Reseller,
+}
+
+/// One organisation and its DNS/BGP fingerprint.
+#[derive(Debug, Clone)]
+pub struct OrgRecord {
+    /// Catalog id.
+    pub id: OrgId,
+    /// Display name, matching the geo registry's AS names where the
+    /// organisation has its own AS.
+    pub name: String,
+    /// Origin AS of the organisation's own address space (None for
+    /// platforms hosted entirely inside a cloud, like Wix-in-AWS).
+    pub asn: Option<Asn>,
+    /// Name-server suffix, e.g. `ns.godaddy.example`.
+    pub ns_suffix: String,
+    /// CNAME suffix through which customer sites expand, if the
+    /// organisation fronts its customers with CNAMEs.
+    pub cname_suffix: Option<String>,
+    /// Role.
+    pub role: OrgRole,
+}
+
+/// The catalog: a vector of organisations with name/suffix lookups.
+#[derive(Debug, Default)]
+pub struct OrgCatalog {
+    orgs: Vec<OrgRecord>,
+}
+
+impl OrgCatalog {
+    /// Empty catalog.
+    pub fn new() -> OrgCatalog {
+        OrgCatalog::default()
+    }
+
+    /// Add an organisation, returning its id.
+    pub fn add(
+        &mut self,
+        name: &str,
+        asn: Option<Asn>,
+        role: OrgRole,
+        cname_fronted: bool,
+    ) -> OrgId {
+        let id = OrgId(self.orgs.len() as u16);
+        let slug: String = name
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .collect::<String>()
+            .to_ascii_lowercase();
+        self.orgs.push(OrgRecord {
+            id,
+            name: name.to_string(),
+            asn,
+            ns_suffix: format!("ns.{slug}.example"),
+            cname_suffix: cname_fronted.then(|| format!("edge.{slug}.example")),
+            role,
+        });
+        id
+    }
+
+    /// Look up by id.
+    pub fn get(&self, id: OrgId) -> &OrgRecord {
+        &self.orgs[id.0 as usize]
+    }
+
+    /// Look up by display name.
+    pub fn by_name(&self, name: &str) -> Option<&OrgRecord> {
+        self.orgs.iter().find(|o| o.name == name)
+    }
+
+    /// All organisations.
+    pub fn orgs(&self) -> &[OrgRecord] {
+        &self.orgs
+    }
+
+    /// All organisations with a given role.
+    pub fn by_role(&self, role: OrgRole) -> impl Iterator<Item = &OrgRecord> {
+        self.orgs.iter().filter(move |o| o.role == role)
+    }
+
+    /// Find the organisation whose NS suffix matches a name-server name.
+    pub fn match_ns(&self, ns_name: &str) -> Option<&OrgRecord> {
+        self.orgs.iter().find(|o| ns_name.ends_with(&o.ns_suffix))
+    }
+
+    /// Find the organisation whose CNAME suffix matches an expansion name.
+    pub fn match_cname(&self, cname: &str) -> Option<&OrgRecord> {
+        self.orgs
+            .iter()
+            .find(|o| o.cname_suffix.as_deref().is_some_and(|s| cname.ends_with(s)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut c = OrgCatalog::new();
+        let id = c.add("GoDaddy", Some(Asn(26496)), OrgRole::Hoster, false);
+        let rec = c.get(id);
+        assert_eq!(rec.name, "GoDaddy");
+        assert_eq!(rec.ns_suffix, "ns.godaddy.example");
+        assert!(rec.cname_suffix.is_none());
+        assert_eq!(c.by_name("GoDaddy").unwrap().id, id);
+        assert!(c.by_name("Nope").is_none());
+    }
+
+    #[test]
+    fn cname_fronted_orgs_get_suffix() {
+        let mut c = OrgCatalog::new();
+        let id = c.add("Wix", None, OrgRole::Platform, true);
+        assert_eq!(
+            c.get(id).cname_suffix.as_deref(),
+            Some("edge.wix.example")
+        );
+    }
+
+    #[test]
+    fn ns_and_cname_matching() {
+        let mut c = OrgCatalog::new();
+        c.add("GoDaddy", Some(Asn(26496)), OrgRole::Hoster, false);
+        c.add("Incapsula", Some(Asn(19551)), OrgRole::Dps, true);
+        assert_eq!(
+            c.match_ns("ns1.ns.godaddy.example").unwrap().name,
+            "GoDaddy"
+        );
+        assert!(c.match_ns("ns1.elsewhere.example").is_none());
+        assert_eq!(
+            c.match_cname("x.edge.incapsula.example").unwrap().name,
+            "Incapsula"
+        );
+        assert!(c.match_cname("x.edge.godaddy.example").is_none());
+    }
+
+    #[test]
+    fn role_filter() {
+        let mut c = OrgCatalog::new();
+        c.add("A", None, OrgRole::Hoster, false);
+        c.add("B", None, OrgRole::Dps, false);
+        c.add("C", None, OrgRole::Dps, false);
+        assert_eq!(c.by_role(OrgRole::Dps).count(), 2);
+        assert_eq!(c.by_role(OrgRole::Hoster).count(), 1);
+    }
+
+    #[test]
+    fn slug_strips_punctuation() {
+        let mut c = OrgCatalog::new();
+        let id = c.add("Endurance (EIG)", None, OrgRole::Hoster, false);
+        assert_eq!(c.get(id).ns_suffix, "ns.enduranceeig.example");
+    }
+}

@@ -1,0 +1,298 @@
+//! A binary trie keyed on IPv4 prefixes with longest-prefix-match lookup.
+//!
+//! The trie is uncompressed (one node per bit of prefix) which bounds every
+//! operation at 32 steps; nodes live in a `Vec` arena, so there is no
+//! pointer chasing through separate allocations and no unsafe code.
+
+use dosscope_types::Ipv4Cidr;
+use std::net::Ipv4Addr;
+
+const NO_NODE: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct Node {
+    children: [u32; 2],
+    /// Index into `values`, or `NO_NODE`.
+    value: u32,
+}
+
+impl Node {
+    fn new() -> Node {
+        Node {
+            children: [NO_NODE, NO_NODE],
+            value: NO_NODE,
+        }
+    }
+}
+
+/// A map from IPv4 CIDR prefixes to values with longest-prefix-match
+/// semantics. Inserting the same prefix twice replaces the value.
+#[derive(Debug, Clone)]
+pub struct PrefixMap<V> {
+    nodes: Vec<Node>,
+    values: Vec<(Ipv4Cidr, V)>,
+    len: usize,
+}
+
+impl<V> Default for PrefixMap<V> {
+    fn default() -> Self {
+        PrefixMap::new()
+    }
+}
+
+impl<V> PrefixMap<V> {
+    /// An empty map.
+    pub fn new() -> PrefixMap<V> {
+        PrefixMap {
+            nodes: vec![Node::new()],
+            values: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of prefixes stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the map holds no prefixes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn bit(addr: u32, depth: u8) -> usize {
+        ((addr >> (31 - depth as u32)) & 1) as usize
+    }
+
+    /// Insert a prefix. Returns the previous value if the exact prefix was
+    /// already present.
+    pub fn insert(&mut self, prefix: Ipv4Cidr, value: V) -> Option<V> {
+        let addr = u32::from(prefix.network());
+        let mut node = 0usize;
+        for depth in 0..prefix.len() {
+            let b = Self::bit(addr, depth);
+            let child = self.nodes[node].children[b];
+            node = if child == NO_NODE {
+                let idx = self.nodes.len() as u32;
+                self.nodes.push(Node::new());
+                self.nodes[node].children[b] = idx;
+                idx as usize
+            } else {
+                child as usize
+            };
+        }
+        let slot = self.nodes[node].value;
+        if slot == NO_NODE {
+            self.nodes[node].value = self.values.len() as u32;
+            self.values.push((prefix, value));
+            self.len += 1;
+            None
+        } else {
+            let old = std::mem::replace(&mut self.values[slot as usize], (prefix, value));
+            Some(old.1)
+        }
+    }
+
+    /// Longest-prefix-match lookup: the most specific stored prefix
+    /// containing `addr`, with its value.
+    pub fn lookup(&self, addr: Ipv4Addr) -> Option<(Ipv4Cidr, &V)> {
+        let a = u32::from(addr);
+        let mut node = 0usize;
+        let mut best: Option<u32> = None;
+        for depth in 0..=32u8 {
+            if self.nodes[node].value != NO_NODE {
+                best = Some(self.nodes[node].value);
+            }
+            if depth == 32 {
+                break;
+            }
+            let child = self.nodes[node].children[Self::bit(a, depth)];
+            if child == NO_NODE {
+                break;
+            }
+            node = child as usize;
+        }
+        best.map(|i| {
+            let (p, ref v) = self.values[i as usize];
+            (p, v)
+        })
+    }
+
+    /// Exact-match lookup of a stored prefix.
+    pub fn get(&self, prefix: &Ipv4Cidr) -> Option<&V> {
+        let addr = u32::from(prefix.network());
+        let mut node = 0usize;
+        for depth in 0..prefix.len() {
+            let child = self.nodes[node].children[Self::bit(addr, depth)];
+            if child == NO_NODE {
+                return None;
+            }
+            node = child as usize;
+        }
+        let slot = self.nodes[node].value;
+        if slot == NO_NODE {
+            None
+        } else {
+            let (p, ref v) = self.values[slot as usize];
+            (p == *prefix).then_some(v)
+        }
+    }
+
+    /// Iterate over all stored `(prefix, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (Ipv4Cidr, &V)> {
+        self.values.iter().map(|(p, v)| (*p, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cidr(s: &str) -> Ipv4Cidr {
+        s.parse().unwrap()
+    }
+
+    fn addr(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn empty_lookup() {
+        let m: PrefixMap<u32> = PrefixMap::new();
+        assert!(m.lookup(addr("1.2.3.4")).is_none());
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn lpm_prefers_most_specific() {
+        let mut m = PrefixMap::new();
+        m.insert(cidr("10.0.0.0/8"), 8);
+        m.insert(cidr("10.10.0.0/16"), 16);
+        m.insert(cidr("10.10.10.0/24"), 24);
+        assert_eq!(m.lookup(addr("10.10.10.10")).unwrap().1, &24);
+        assert_eq!(m.lookup(addr("10.10.99.1")).unwrap().1, &16);
+        assert_eq!(m.lookup(addr("10.99.0.1")).unwrap().1, &8);
+        assert!(m.lookup(addr("11.0.0.1")).is_none());
+    }
+
+    #[test]
+    fn default_route_matches_everything() {
+        let mut m = PrefixMap::new();
+        m.insert(cidr("0.0.0.0/0"), "default");
+        m.insert(cidr("192.0.2.0/24"), "doc");
+        assert_eq!(m.lookup(addr("8.8.8.8")).unwrap().1, &"default");
+        assert_eq!(m.lookup(addr("192.0.2.1")).unwrap().1, &"doc");
+    }
+
+    #[test]
+    fn host_route() {
+        let mut m = PrefixMap::new();
+        m.insert(cidr("203.0.113.7/32"), 1);
+        assert_eq!(m.lookup(addr("203.0.113.7")).unwrap().1, &1);
+        assert!(m.lookup(addr("203.0.113.8")).is_none());
+    }
+
+    #[test]
+    fn insert_replaces_and_returns_old() {
+        let mut m = PrefixMap::new();
+        assert_eq!(m.insert(cidr("10.0.0.0/8"), 1), None);
+        assert_eq!(m.insert(cidr("10.0.0.0/8"), 2), Some(1));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.lookup(addr("10.0.0.1")).unwrap().1, &2);
+    }
+
+    #[test]
+    fn exact_get() {
+        let mut m = PrefixMap::new();
+        m.insert(cidr("10.0.0.0/8"), 8);
+        m.insert(cidr("10.0.0.0/16"), 16);
+        assert_eq!(m.get(&cidr("10.0.0.0/8")), Some(&8));
+        assert_eq!(m.get(&cidr("10.0.0.0/16")), Some(&16));
+        assert_eq!(m.get(&cidr("10.0.0.0/12")), None);
+        assert_eq!(m.get(&cidr("11.0.0.0/8")), None);
+    }
+
+    #[test]
+    fn lookup_returns_matching_prefix() {
+        let mut m = PrefixMap::new();
+        m.insert(cidr("172.16.0.0/12"), ());
+        let (p, _) = m.lookup(addr("172.20.1.1")).unwrap();
+        assert_eq!(p, cidr("172.16.0.0/12"));
+    }
+
+    #[test]
+    fn sibling_prefixes_do_not_interfere() {
+        let mut m = PrefixMap::new();
+        m.insert(cidr("128.0.0.0/1"), "hi");
+        m.insert(cidr("0.0.0.0/1"), "lo");
+        assert_eq!(m.lookup(addr("200.1.1.1")).unwrap().1, &"hi");
+        assert_eq!(m.lookup(addr("100.1.1.1")).unwrap().1, &"lo");
+    }
+
+    #[test]
+    fn iter_yields_all() {
+        let mut m = PrefixMap::new();
+        m.insert(cidr("10.0.0.0/8"), 1);
+        m.insert(cidr("192.168.0.0/16"), 2);
+        let all: Vec<_> = m.iter().map(|(p, v)| (p.to_string(), *v)).collect();
+        assert_eq!(all.len(), 2);
+        assert!(all.contains(&("10.0.0.0/8".to_string(), 1)));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_cidr() -> impl Strategy<Value = Ipv4Cidr> {
+        (any::<u32>(), 0u8..=32).prop_map(|(a, l)| Ipv4Cidr::new(Ipv4Addr::from(a), l))
+    }
+
+    proptest! {
+        /// LPM must agree with a brute-force linear scan over all inserted
+        /// prefixes (most specific containing prefix wins; later insert of
+        /// an equal prefix wins).
+        #[test]
+        fn lpm_agrees_with_linear_scan(
+            entries in proptest::collection::vec((arb_cidr(), any::<u16>()), 1..40),
+            probes in proptest::collection::vec(any::<u32>(), 1..40),
+        ) {
+            let mut m = PrefixMap::new();
+            for (p, v) in &entries {
+                m.insert(*p, *v);
+            }
+            for probe in probes {
+                let addr = Ipv4Addr::from(probe);
+                let expected = entries
+                    .iter()
+                    .filter(|(p, _)| p.contains(addr))
+                    // max_by_key is stable: later (= more recently inserted)
+                    // entries win ties, matching replace-on-insert.
+                    .max_by_key(|(p, _)| p.len())
+                    .map(|(_, v)| *v);
+                let got = m.lookup(addr).map(|(_, v)| *v);
+                prop_assert_eq!(got, expected);
+            }
+        }
+
+        /// Every inserted prefix is retrievable by exact get, and its own
+        /// network address LPMs to a prefix at least as specific.
+        #[test]
+        fn insert_then_get(entries in proptest::collection::vec((arb_cidr(), any::<u16>()), 1..40)) {
+            let mut m = PrefixMap::new();
+            let mut last: std::collections::HashMap<Ipv4Cidr, u16> = Default::default();
+            for (p, v) in &entries {
+                m.insert(*p, *v);
+                last.insert(*p, *v);
+            }
+            for (p, v) in &last {
+                prop_assert_eq!(m.get(p), Some(v));
+                let (found, _) = m.lookup(p.network()).unwrap();
+                prop_assert!(found.len() >= p.len() || found.covers(p));
+            }
+            prop_assert_eq!(m.len(), last.len());
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests for the synthetic address registry: for arbitrary
+//! configurations, the plan must be non-overlapping, avoid reserved space
+//! and the darknet, and the derived databases must agree with the plan.
+
+use dosscope_geo::{AsRegistry, RegistryConfig};
+use dosscope_types::Ipv4Cidr;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::net::Ipv4Addr;
+
+fn arb_config() -> impl Strategy<Value = RegistryConfig> {
+    (any::<u64>(), 50u32..400, 1u8..=126).prop_map(|(seed, prefixes, dark_octet)| {
+        RegistryConfig {
+            seed,
+            darknet: Ipv4Cidr::new(Ipv4Addr::new(dark_octet, 0, 0, 0), 8),
+            generic_prefixes: prefixes,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// No two allocated prefixes overlap, none intersects reserved space
+    /// or the darknet, for any configuration.
+    #[test]
+    fn plan_is_sound(config in arb_config()) {
+        let registry = AsRegistry::build(&config);
+        let mut all: Vec<Ipv4Cidr> = registry
+            .ases()
+            .iter()
+            .flat_map(|a| a.prefixes.iter().copied())
+            .collect();
+        prop_assert!(!all.is_empty());
+        all.sort_by_key(|p| (u32::from(p.network()), p.len()));
+        for w in all.windows(2) {
+            prop_assert!(
+                !w[0].covers(&w[1]) && !w[1].covers(&w[0]),
+                "{} overlaps {}",
+                w[0],
+                w[1]
+            );
+        }
+        for p in &all {
+            prop_assert!(!config.darknet.covers(p) && !p.covers(&config.darknet));
+            for probe in [p.first(), p.last()] {
+                let o = probe.octets();
+                prop_assert!(o[0] != 0 && o[0] != 10 && o[0] != 127 && o[0] < 224);
+                prop_assert!(!(o[0] == 172 && (16..32).contains(&o[1])));
+                prop_assert!(!(o[0] == 192 && o[1] == 168));
+                prop_assert!(!(o[0] == 169 && o[1] == 254));
+            }
+        }
+    }
+
+    /// The geolocation and routing databases agree with the plan for
+    /// sampled addresses of every AS.
+    #[test]
+    fn databases_agree(config in arb_config(), probe_seed in any::<u64>()) {
+        let registry = AsRegistry::build(&config);
+        let geo = registry.build_geodb();
+        let asdb = registry.build_asdb();
+        let mut rng = SmallRng::seed_from_u64(probe_seed);
+        for a in registry.ases().iter().step_by(7) {
+            let addr = a.sample_addr(&mut rng);
+            prop_assert_eq!(geo.country_of(addr), Some(a.country));
+            prop_assert_eq!(asdb.asn_of(addr), Some(a.asn));
+        }
+        // Darknet addresses are never routed or geolocated.
+        let dark = config.darknet.addr_at(12345);
+        prop_assert_eq!(asdb.asn_of(dark), None);
+        prop_assert_eq!(geo.country_of(dark), None);
+    }
+
+    /// Identical configs produce identical plans (pure function).
+    #[test]
+    fn plan_is_pure(config in arb_config()) {
+        let a = AsRegistry::build(&config);
+        let b = AsRegistry::build(&config);
+        prop_assert_eq!(a.ases().len(), b.ases().len());
+        for (x, y) in a.ases().iter().zip(b.ases()) {
+            prop_assert_eq!(x.asn, y.asn);
+            prop_assert_eq!(&x.prefixes, &y.prefixes);
+            prop_assert_eq!(x.country, y.country);
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! The reproduction driver: runs the full scenario at a configurable
+//! scale, prints every table and figure, and the paper-vs-measured
+//! comparison.
+//!
+//! Usage: `repro [--scale N] [--seed N] [--days N]`
+
+use dosscope_harness::experiments::Experiments;
+use dosscope_harness::{Scenario, ScenarioConfig};
+
+fn parse_args() -> ScenarioConfig {
+    let mut config = ScenarioConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| -> f64 {
+            args.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{name} needs a numeric value"))
+        };
+        match arg.as_str() {
+            "--scale" => config.scale = take("--scale"),
+            "--seed" => config.seed = take("--seed") as u64,
+            "--days" => config.days = take("--days") as u32,
+            "--help" | "-h" => {
+                eprintln!("usage: repro [--scale N] [--seed N] [--days N]");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    config
+}
+
+fn main() {
+    let config = parse_args();
+    eprintln!(
+        "running scenario: scale 1/{}, {} days, seed {:#x} ...",
+        config.scale, config.days, config.seed
+    );
+    let t0 = std::time::Instant::now();
+    let world = Scenario::run(&config);
+    eprintln!(
+        "scenario done in {:.1?}: {} telescope events, {} honeypot events",
+        t0.elapsed(),
+        world.store.telescope().len(),
+        world.store.honeypot().len()
+    );
+    let experiments = Experiments::run(&world, config.scale);
+    println!("{}", experiments.render_report());
+    let rows = experiments.compare();
+    println!("{}", Experiments::render_comparison(&rows));
+}

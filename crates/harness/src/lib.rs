@@ -1,0 +1,21 @@
+//! # dosscope-harness
+//!
+//! End-to-end scenario runner: builds the synthetic world (address plan,
+//! DNS namespace, DPS market), generates the ground-truth ecosystem,
+//! renders it into per-day observations, drives the two measurement
+//! pipelines over the rendered bytes, and assembles the analysis
+//! [`dosscope_core::Framework`] — the complete loop the paper's
+//! infrastructure performs over two years, in one call.
+//!
+//! The harness is also the home of the paper-reproduction machinery:
+//! [`paper`] holds the published values, [`experiments`] regenerates every
+//! table and figure and compares.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod paper;
+pub mod scenario;
+
+pub use scenario::{Scenario, ScenarioConfig, World};

@@ -1,0 +1,146 @@
+//! The paper's published values, used for the reproduction comparison.
+//!
+//! Absolute counts are scale-dependent (we run a scaled-down two years);
+//! the comparison therefore checks *shares, shapes and rankings*, plus
+//! scale-normalized totals where meaningful.
+
+/// Table 1 (shape): share of events per source.
+pub const TELESCOPE_EVENT_SHARE: f64 = 12.47 / 20.90;
+/// Events per unique target, telescope (12.47 M / 2.45 M).
+pub const TELESCOPE_EVENTS_PER_TARGET: f64 = 12.47 / 2.45;
+/// Events per unique target, honeypots (8.43 M / 4.18 M).
+pub const HONEYPOT_EVENTS_PER_TARGET: f64 = 8.43 / 4.18;
+
+/// Figure 1: mean attacks/day (paper scale).
+pub const DAILY_TELESCOPE: f64 = 17_100.0;
+/// See [`DAILY_TELESCOPE`].
+pub const DAILY_HONEYPOT: f64 = 11_600.0;
+/// See [`DAILY_TELESCOPE`].
+pub const DAILY_COMBINED: f64 = 28_700.0;
+
+/// Table 4a, telescope country shares (%).
+pub const T4A: [(&str, f64); 5] = [
+    ("US", 25.56),
+    ("CN", 10.47),
+    ("RU", 5.72),
+    ("FR", 5.14),
+    ("DE", 4.20),
+];
+/// Table 4b, honeypot country shares (%).
+pub const T4B: [(&str, f64); 5] = [
+    ("US", 29.50),
+    ("CN", 9.96),
+    ("FR", 7.73),
+    ("GB", 6.37),
+    ("DE", 5.18),
+];
+
+/// Table 5: protocol shares (%) [TCP, UDP, ICMP, Other].
+pub const T5: [f64; 4] = [79.4, 15.9, 4.5, 0.2];
+
+/// Table 6: reflection shares (%) [NTP, DNS, CharGen, SSDP, RIPv1].
+pub const T6_TOP5: [(&str, f64); 5] = [
+    ("NTP", 40.08),
+    ("DNS", 26.17),
+    ("CharGen", 22.37),
+    ("SSDP", 8.38),
+    ("RIPv1", 2.27),
+];
+
+/// Table 7: single-port share (%).
+pub const T7_SINGLE: f64 = 60.6;
+
+/// Table 8a: TCP service shares (%).
+pub const T8A: [(&str, f64); 5] = [
+    ("HTTP", 48.68),
+    ("HTTPS", 20.68),
+    ("MySQL", 1.12),
+    ("DNS", 1.07),
+    ("VPN PPTP", 0.99),
+];
+/// Table 8b: UDP port shares (%).
+pub const T8B_STEAM: f64 = 18.54;
+/// Web share of single-port TCP attacks.
+pub const T8A_WEB: f64 = 69.36;
+
+/// Figure 2 telescope: mean/median duration (s); share ≤ 5 min; top-10 %
+/// boundary (s).
+pub const F2_TELE_MEAN: f64 = 2_880.0;
+/// See [`F2_TELE_MEAN`].
+pub const F2_TELE_MEDIAN: f64 = 454.0;
+/// See [`F2_TELE_MEAN`].
+pub const F2_TELE_LE_5MIN: f64 = 0.40;
+/// Figure 2 honeypots: mean/median duration (s).
+pub const F2_HP_MEAN: f64 = 1_080.0;
+/// See [`F2_HP_MEAN`].
+pub const F2_HP_MEDIAN: f64 = 255.0;
+
+/// Figure 3: telescope intensity — share ≤ 2 pps; share > 10 pps; mean;
+/// median.
+pub const F3_LE2: f64 = 0.70;
+/// See [`F3_LE2`].
+pub const F3_GT10: f64 = 0.17;
+/// See [`F3_LE2`].
+pub const F3_MEAN: f64 = 107.0;
+/// See [`F3_LE2`].
+pub const F3_MEDIAN: f64 = 1.0;
+
+/// Figure 4: honeypot intensity mean/median (req/s).
+pub const F4_MEAN: f64 = 413.0;
+/// See [`F4_MEAN`].
+pub const F4_MEDIAN: f64 = 77.0;
+
+/// Figure 5: medium+ attacks per day (paper scale).
+pub const F5_DAILY: f64 = 1_400.0;
+
+/// Section 4: joint/common targets at paper scale.
+pub const COMMON_TARGETS: f64 = 282_000.0;
+/// See [`COMMON_TARGETS`].
+pub const JOINT_TARGETS: f64 = 137_000.0;
+/// Joint telescope attacks: single-port share.
+pub const JOINT_SINGLE: f64 = 0.771;
+/// OVH share of joint targets.
+pub const JOINT_OVH: f64 = 0.123;
+
+/// Section 5: share of namespace on attacked IPs over two years.
+pub const WEB_AFFECTED: f64 = 0.64;
+/// Mean daily share of namespace involved.
+pub const WEB_DAILY_SHARE: f64 = 0.03;
+/// Largest daily peak share.
+pub const WEB_PEAK_SHARE: f64 = 0.1182;
+/// TCP share of telescope events on Web-hosting IPs.
+pub const WEB_TCP: f64 = 0.934;
+/// Web-port share among their single-port TCP events.
+pub const WEB_PORTS: f64 = 0.876;
+/// NTP share of honeypot events on Web-hosting IPs.
+pub const WEB_NTP: f64 = 0.5469;
+/// Share of targeted IPs hosting at least one site.
+pub const WEB_IP_SHARE: f64 = 0.09;
+
+/// Figure 8: taxonomy shares.
+pub const F8_ATTACKED: f64 = 0.64;
+/// Preexisting among attacked.
+pub const F8_PRE_ATTACKED: f64 = 0.186;
+/// Preexisting among unattacked.
+pub const F8_PRE_UNATTACKED: f64 = 0.0089;
+/// Migrating among attacked non-preexisting.
+pub const F8_MIG_ATTACKED: f64 = 0.0431;
+/// Migrating among unattacked non-preexisting.
+pub const F8_MIG_UNATTACKED: f64 = 0.0332;
+
+/// Figure 9: share of sites attacked ≤ 5 times (all vs migrating).
+pub const F9_ALL_LE5: f64 = 0.9235;
+/// See [`F9_ALL_LE5`].
+pub const F9_MIG_LE5: f64 = 0.9783;
+
+/// Figure 10: share migrating within 6 days (all / top5 / top1 / top0.1).
+pub const F10_6D: [f64; 4] = [0.299, 0.671, 0.771, 0.986];
+/// Within one day: all vs top 0.1 %.
+pub const F10_1D_ALL: f64 = 0.232;
+/// See [`F10_1D_ALL`].
+pub const F10_1D_TOP01: f64 = 0.807;
+
+/// Figure 11: ≥ 4 h attacks — migration within 1 day / within 5 days.
+pub const F11_1D: f64 = 0.676;
+/// See [`F11_1D`].
+pub const F11_5D: f64 = 0.76;

@@ -1,0 +1,280 @@
+//! The end-to-end scenario: world building, ground-truth generation,
+//! day-by-day rendering, and measurement.
+//!
+//! The rendering and the detection run as a two-stage pipeline over a
+//! bounded channel (crossbeam scope): one thread renders day `d+1` while
+//! the main thread feeds day `d` into the detectors — the same
+//! overlap a real capture/processing deployment has.
+
+use dosscope_amppot::{AmpPotFleet, RequestBatch};
+use dosscope_attackgen::config::Calibration;
+use dosscope_attackgen::{GenConfig, Generator, GroundTruth, MigrationModel, Renderer};
+use dosscope_core::{EventStore, Framework};
+use dosscope_dns::synth::{synthesize, SynthConfig, SynthOutput};
+use dosscope_dps::DpsDataset;
+use dosscope_geo::{AsDb, AsRegistry, GeoDb, RegistryConfig};
+use dosscope_telescope::{PacketBatch, RsdosDetector, RsdosPlugin, Telescope, TelescopePlugin};
+use dosscope_types::DayIndex;
+
+/// Scenario parameters. `scale` divides every paper-scale quantity; the
+/// default (2000) runs the full 731-day window in seconds of CPU time.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Master seed (world, ground truth and rendering all derive from it).
+    pub seed: u64,
+    /// Scale denominator (events = paper totals / scale; namespace size
+    /// likewise).
+    pub scale: f64,
+    /// Window length in days (731).
+    pub days: u32,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            seed: 0xD05C09E,
+            scale: 2_000.0,
+            days: 731,
+        }
+    }
+}
+
+impl ScenarioConfig {
+    /// A reduced configuration for tests: coarser scale, full window.
+    pub fn test_small() -> ScenarioConfig {
+        ScenarioConfig {
+            scale: 20_000.0,
+            ..ScenarioConfig::default()
+        }
+    }
+
+    /// Scaled number of Web sites.
+    pub fn total_sites(&self) -> u32 {
+        ((dosscope_attackgen::config::paper::WEB_SITES / self.scale).round() as u32).max(500)
+    }
+}
+
+/// Everything the scenario produced. Analyses borrow from this.
+pub struct World {
+    /// The synthetic address plan.
+    pub registry: AsRegistry,
+    /// Geolocation database (built from the plan).
+    pub geo: GeoDb,
+    /// Prefix-to-AS database (built from the plan).
+    pub asdb: AsDb,
+    /// The DNS namespace (post-migration zone) and organisation catalog.
+    pub synth: SynthOutput,
+    /// The measured DPS adoption data set.
+    pub dps: DpsDataset,
+    /// Detected attack events from both pipelines.
+    pub store: EventStore,
+    /// Telescope detector statistics.
+    pub telescope_stats: dosscope_telescope::detector::DetectorStats,
+    /// Honeypot fleet statistics.
+    pub fleet_stats: dosscope_amppot::FleetStats,
+    /// Botnet attack events from the C&C monitor (the third data source;
+    /// Section 8 extension).
+    pub botnet_events: Vec<dosscope_botmon::BotnetEvent>,
+    /// C&C monitor statistics.
+    pub botmon_stats: dosscope_botmon::MonitorStats,
+    /// The ground truth (kept for validation; the analyses never read it).
+    pub truth: GroundTruth,
+    /// The applied migrations (ground truth).
+    pub migrations: dosscope_attackgen::MigrationOutcome,
+    /// Window length.
+    pub days: u32,
+}
+
+impl World {
+    /// Assemble the analysis framework over this world.
+    pub fn framework(&self) -> Framework<'_> {
+        let mut store = EventStore::new();
+        store.ingest_telescope(self.store.telescope().to_vec());
+        store.ingest_honeypot(self.store.honeypot().to_vec());
+        Framework::new(store, &self.geo, &self.asdb, self.days)
+            .with_dns(&self.synth.zone, &self.synth.catalog)
+            .with_dps(&self.dps)
+    }
+}
+
+/// The scenario driver.
+pub struct Scenario;
+
+impl Scenario {
+    /// Run the full loop for a configuration.
+    pub fn run(config: &ScenarioConfig) -> World {
+        // 1. World: address plan, metadata databases, DNS namespace.
+        let registry = AsRegistry::build(&RegistryConfig {
+            seed: config.seed ^ 0x9E0,
+            ..RegistryConfig::default()
+        });
+        let geo = registry.build_geodb();
+        let asdb = registry.build_asdb();
+        let mut synth = synthesize(
+            &SynthConfig {
+                seed: config.seed ^ 0xD45,
+                total_sites: config.total_sites(),
+                days: config.days,
+                ..SynthConfig::default()
+            },
+            &registry,
+        );
+
+        // 2. Ground truth + behavioural migrations (mutates the zone).
+        let gen_config = GenConfig {
+            seed: config.seed ^ 0xA77,
+            days: config.days,
+            scale: config.scale,
+            ..GenConfig::default()
+        };
+        let cal = Calibration::default();
+        let truth = Generator::new(gen_config.clone(), Calibration::default(), &registry, &synth)
+            .generate();
+        let migrations = MigrationModel::apply(&gen_config, &cal, &truth, &mut synth);
+
+        // 3. Measure DPS adoption from the (mutated) zone — the inference
+        // side of Section 3.3.
+        let dps = DpsDataset::infer(&synth.zone, &synth.catalog, &asdb);
+
+        // 4. Render observations and drive both measurement pipelines.
+        let telescope = Telescope::default_slash8();
+        let fleet = AmpPotFleet::standard();
+        let pot_addrs: Vec<std::net::Ipv4Addr> =
+            fleet.honeypots().iter().map(|h| h.addr).collect();
+        let renderer = Renderer::new(&truth, telescope, pot_addrs, config.seed ^ 0x8E4, config.days);
+
+        let (store, telescope_stats, fleet_stats) =
+            drive_pipelines(&renderer, telescope, fleet, config.days);
+
+        // The third data source: botnet C&C monitoring (Section 8
+        // extension). Commands are generated from the same ground truth
+        // and inferred back by the monitor.
+        let commands = dosscope_attackgen::botnets::generate_commands(
+            &gen_config,
+            &registry,
+            &truth,
+            config.seed ^ 0xB07,
+        );
+        let mut monitor = dosscope_botmon::CncMonitor::new();
+        for c in &commands {
+            monitor.ingest(c);
+        }
+        let (botnet_events, botmon_stats) =
+            monitor.finish(dosscope_types::SimTime(config.days as u64 * 86_400));
+
+        World {
+            registry,
+            geo,
+            asdb,
+            synth,
+            dps,
+            store,
+            telescope_stats,
+            fleet_stats,
+            botnet_events,
+            botmon_stats,
+            truth,
+            migrations,
+            days: config.days,
+        }
+    }
+}
+
+/// Render days on a producer thread while the consumer feeds the
+/// detectors: a bounded two-stage pipeline.
+fn drive_pipelines(
+    renderer: &Renderer<'_>,
+    telescope: Telescope,
+    mut fleet: AmpPotFleet,
+    days: u32,
+) -> (
+    EventStore,
+    dosscope_telescope::detector::DetectorStats,
+    dosscope_amppot::FleetStats,
+) {
+    let detector = RsdosDetector::with_defaults(telescope);
+    let mut plugin = RsdosPlugin::new(detector);
+    let (tx, rx) = crossbeam::channel::bounded::<(Vec<PacketBatch>, Vec<RequestBatch>)>(4);
+    let mut interval: Option<u64> = None;
+
+    crossbeam::scope(|s| {
+        s.spawn(move |_| {
+            for d in 0..days {
+                let day = DayIndex(d);
+                let t = renderer.telescope_day(day);
+                let h = renderer.honeypot_day(day);
+                if tx.send((t, h)).is_err() {
+                    return;
+                }
+            }
+        });
+        for (tele_batches, hp_batches) in rx.iter() {
+            for b in &tele_batches {
+                let iv = b.ts.secs() / 60;
+                match interval {
+                    None => interval = Some(iv),
+                    Some(cur) if iv > cur => {
+                        plugin.interval_end(dosscope_types::SimTime(iv * 60));
+                        interval = Some(iv);
+                    }
+                    _ => {}
+                }
+                plugin.process_batch(b);
+            }
+            for b in &hp_batches {
+                fleet.ingest(b);
+            }
+        }
+    })
+    .expect("pipeline threads never panic");
+
+    plugin.finish();
+    let (tele_events, tele_stats) = plugin.into_results();
+    let (hp_events, fleet_stats) = fleet.finish();
+
+    let mut store = EventStore::new();
+    store.ingest_telescope(tele_events);
+    store.ingest_honeypot(hp_events);
+    (store, tele_stats, fleet_stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A very small smoke scenario (heavier validation lives in the
+    /// workspace integration tests).
+    #[test]
+    fn tiny_scenario_end_to_end() {
+        let config = ScenarioConfig {
+            scale: 100_000.0,
+            ..ScenarioConfig::default()
+        };
+        let world = Scenario::run(&config);
+        assert!(world.store.telescope().len() > 50, "telescope events detected");
+        assert!(world.store.honeypot().len() > 30, "honeypot events detected");
+        assert_eq!(world.telescope_stats.malformed, 0);
+        assert_eq!(world.fleet_stats.malformed, 0);
+        // The framework assembles and basic reports build.
+        let fw = world.framework();
+        let t1 = dosscope_core::report::Table1::build(&fw);
+        assert!(t1.rows[2].summary.events >= t1.rows[0].summary.events);
+    }
+
+    #[test]
+    fn scenario_deterministic() {
+        let config = ScenarioConfig {
+            scale: 200_000.0,
+            ..ScenarioConfig::default()
+        };
+        let a = Scenario::run(&config);
+        let b = Scenario::run(&config);
+        assert_eq!(a.store.telescope().len(), b.store.telescope().len());
+        assert_eq!(a.store.honeypot().len(), b.store.honeypot().len());
+        for (x, y) in a.store.telescope().iter().zip(b.store.telescope()) {
+            assert_eq!(x.target, y.target);
+            assert_eq!(x.when, y.when);
+            assert_eq!(x.packets, y.packets);
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! Step 2 of the Moore et al. pipeline: aggregate backscatter packets into
+//! attack flows keyed by the victim IP, expiring flows after 300 seconds of
+//! inactivity (the paper's conservative timeout).
+
+use crate::classify::Backscatter;
+use dosscope_types::{SimTime, TransportProto, SECS_PER_MINUTE};
+use std::collections::{BTreeSet, HashMap};
+use std::net::Ipv4Addr;
+
+/// Cap on the exact distinct-port set; beyond this the count saturates
+/// (an attack on 256+ ports is deep into "multi-port" territory anyway).
+const MAX_TRACKED_PORTS: usize = 256;
+
+/// Cap on the exact distinct-source set, after which the count saturates.
+const MAX_TRACKED_SOURCES: usize = 65_536;
+
+/// An in-progress attack flow against one victim.
+#[derive(Debug, Clone)]
+pub struct Flow {
+    /// The victim IP (flow key).
+    pub victim: Ipv4Addr,
+    /// Timestamp of the first packet.
+    pub first: SimTime,
+    /// Timestamp of the most recent packet.
+    pub last: SimTime,
+    /// Total backscatter packets.
+    pub packets: u64,
+    /// Total backscatter bytes.
+    pub bytes: u64,
+    /// Packets per attributed attack protocol, indexed by
+    /// [`TransportProto::ALL`] order.
+    pub proto_packets: [u64; 4],
+    /// Distinct victim-side ports observed (exact up to the cap).
+    ports: BTreeSet<u16>,
+    ports_saturated: bool,
+    /// Distinct telescope-side addresses (the attack's spoofed sources
+    /// that happened to fall in the darknet), exact up to the cap.
+    sources: std::collections::HashSet<u32>,
+    sources_overflow: u32,
+    /// Packet count in the current minute bucket.
+    cur_minute: u64,
+    cur_minute_count: u64,
+    /// Highest per-minute packet count seen.
+    max_minute_count: u64,
+}
+
+impl Flow {
+    fn new(victim: Ipv4Addr, ts: SimTime) -> Flow {
+        Flow {
+            victim,
+            first: ts,
+            last: ts,
+            packets: 0,
+            bytes: 0,
+            proto_packets: [0; 4],
+            ports: BTreeSet::new(),
+            ports_saturated: false,
+            sources: std::collections::HashSet::new(),
+            sources_overflow: 0,
+            cur_minute: ts.minute(),
+            cur_minute_count: 0,
+            max_minute_count: 0,
+        }
+    }
+
+    fn add(&mut self, b: &Backscatter, ts: SimTime, count: u32, bytes: u64) {
+        debug_assert!(ts >= self.last, "flows must be fed in time order");
+        self.last = self.last.max(ts);
+        self.packets += count as u64;
+        self.bytes += bytes;
+        let proto_idx = TransportProto::ALL
+            .iter()
+            .position(|p| *p == b.attack_proto)
+            .expect("ALL covers every variant");
+        self.proto_packets[proto_idx] += count as u64;
+        if let Some(port) = b.victim_port {
+            if self.ports.len() < MAX_TRACKED_PORTS {
+                self.ports.insert(port);
+            } else if !self.ports.contains(&port) {
+                self.ports_saturated = true;
+            }
+        }
+        let src = u32::from(b.spoofed_source);
+        if self.sources.len() < MAX_TRACKED_SOURCES {
+            self.sources.insert(src);
+        } else if !self.sources.contains(&src) {
+            self.sources_overflow = self.sources_overflow.saturating_add(1);
+        }
+        // Per-minute rate tracking.
+        let minute = ts.minute();
+        if minute != self.cur_minute {
+            self.max_minute_count = self.max_minute_count.max(self.cur_minute_count);
+            self.cur_minute = minute;
+            self.cur_minute_count = 0;
+        }
+        self.cur_minute_count += count as u64;
+    }
+
+    /// Flow duration in seconds (last - first).
+    pub fn duration_secs(&self) -> u64 {
+        self.last.secs() - self.first.secs()
+    }
+
+    /// The maximum packets-per-second rate in any minute: the statistic
+    /// the paper uses as attack intensity (and as the 0.5 pps filter).
+    pub fn max_pps(&self) -> f64 {
+        self.max_minute_count.max(self.cur_minute_count) as f64 / SECS_PER_MINUTE as f64
+    }
+
+    /// Number of distinct victim ports observed (saturating).
+    pub fn distinct_ports(&self) -> u32 {
+        self.ports.len() as u32 + u32::from(self.ports_saturated)
+    }
+
+    /// The single observed port, if exactly one.
+    pub fn single_port(&self) -> Option<u16> {
+        if self.distinct_ports() == 1 {
+            self.ports.iter().next().copied()
+        } else {
+            None
+        }
+    }
+
+    /// Estimated number of distinct spoofed sources (saturating above the
+    /// tracking cap).
+    pub fn distinct_sources(&self) -> u32 {
+        self.sources.len() as u32 + self.sources_overflow
+    }
+
+    /// The dominant attributed attack protocol by packet count.
+    pub fn dominant_proto(&self) -> TransportProto {
+        let (idx, _) = self
+            .proto_packets
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, c)| **c)
+            .expect("array non-empty");
+        TransportProto::ALL[idx]
+    }
+}
+
+/// The victim-keyed flow table with inactivity expiry.
+#[derive(Debug)]
+pub struct FlowTable {
+    flows: HashMap<Ipv4Addr, Flow>,
+    timeout_secs: u64,
+}
+
+impl FlowTable {
+    /// A table with the given inactivity timeout (the paper uses 300 s).
+    pub fn new(timeout_secs: u64) -> FlowTable {
+        FlowTable {
+            flows: HashMap::new(),
+            timeout_secs,
+        }
+    }
+
+    /// Number of live flows.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// True when no flows are live.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Feed one classified backscatter batch. If the victim's previous
+    /// flow had already expired relative to `ts`, it is finalized and
+    /// returned while a fresh flow starts.
+    pub fn offer(
+        &mut self,
+        b: &Backscatter,
+        ts: SimTime,
+        count: u32,
+        bytes: u64,
+    ) -> Option<Flow> {
+        let mut expired = None;
+        let flow = self
+            .flows
+            .entry(b.victim)
+            .or_insert_with(|| Flow::new(b.victim, ts));
+        if ts.secs() > flow.last.secs() + self.timeout_secs {
+            expired = Some(std::mem::replace(flow, Flow::new(b.victim, ts)));
+        }
+        flow.add(b, ts, count, bytes);
+        expired
+    }
+
+    /// Expire and return every flow idle at `now` (last activity more than
+    /// the timeout ago). Called by the driver at interval boundaries.
+    pub fn sweep(&mut self, now: SimTime) -> Vec<Flow> {
+        let timeout = self.timeout_secs;
+        let expired_keys: Vec<Ipv4Addr> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| now.secs() > f.last.secs() + timeout)
+            .map(|(k, _)| *k)
+            .collect();
+        expired_keys
+            .into_iter()
+            .map(|k| self.flows.remove(&k).expect("key collected above"))
+            .collect()
+    }
+
+    /// Finalize and return all remaining flows (end of trace).
+    pub fn drain(&mut self) -> Vec<Flow> {
+        self.flows.drain().map(|(_, f)| f).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bs(victim: &str, port: Option<u16>, spoofed: &str) -> Backscatter {
+        Backscatter {
+            victim: victim.parse().unwrap(),
+            spoofed_source: spoofed.parse().unwrap(),
+            attack_proto: TransportProto::Tcp,
+            victim_port: port,
+        }
+    }
+
+    #[test]
+    fn flow_accumulates() {
+        let mut t = FlowTable::new(300);
+        let b = bs("203.0.113.1", Some(80), "44.0.0.1");
+        assert!(t.offer(&b, SimTime(10), 5, 200).is_none());
+        assert!(t.offer(&b, SimTime(40), 5, 200).is_none());
+        assert_eq!(t.len(), 1);
+        let flows = t.drain();
+        assert_eq!(flows[0].packets, 10);
+        assert_eq!(flows[0].bytes, 400);
+        assert_eq!(flows[0].duration_secs(), 30);
+        assert_eq!(flows[0].distinct_ports(), 1);
+        assert_eq!(flows[0].single_port(), Some(80));
+    }
+
+    #[test]
+    fn timeout_splits_flows() {
+        let mut t = FlowTable::new(300);
+        let b = bs("203.0.113.1", Some(80), "44.0.0.1");
+        assert!(t.offer(&b, SimTime(0), 1, 40).is_none());
+        // 301 seconds of silence: the next packet starts a new flow.
+        let old = t.offer(&b, SimTime(302), 1, 40).expect("old flow expires");
+        assert_eq!(old.packets, 1);
+        assert_eq!(t.len(), 1);
+        let new = t.drain().pop().unwrap();
+        assert_eq!(new.first, SimTime(302));
+    }
+
+    #[test]
+    fn boundary_exactly_timeout_keeps_flow() {
+        let mut t = FlowTable::new(300);
+        let b = bs("203.0.113.1", Some(80), "44.0.0.1");
+        t.offer(&b, SimTime(0), 1, 40);
+        // Exactly 300 s later is still within the flow (> is required).
+        assert!(t.offer(&b, SimTime(300), 1, 40).is_none());
+        assert_eq!(t.drain()[0].packets, 2);
+    }
+
+    #[test]
+    fn sweep_expires_idle_flows() {
+        let mut t = FlowTable::new(300);
+        t.offer(&bs("203.0.113.1", Some(80), "44.0.0.1"), SimTime(0), 1, 40);
+        t.offer(&bs("203.0.113.2", Some(80), "44.0.0.2"), SimTime(290), 1, 40);
+        let expired = t.sweep(SimTime(301));
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].victim, "203.0.113.1".parse::<Ipv4Addr>().unwrap());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn max_pps_per_minute() {
+        let mut t = FlowTable::new(300);
+        let b = bs("203.0.113.1", Some(80), "44.0.0.1");
+        // Minute 0: 120 packets => 2 pps; minute 1: 60 packets => 1 pps.
+        t.offer(&b, SimTime(10), 120, 4800);
+        t.offer(&b, SimTime(70), 60, 2400);
+        let f = t.drain().pop().unwrap();
+        assert!((f.max_pps() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_pps_single_bucket_in_progress() {
+        let mut t = FlowTable::new(300);
+        let b = bs("203.0.113.1", Some(80), "44.0.0.1");
+        t.offer(&b, SimTime(10), 30, 1200);
+        let f = t.drain().pop().unwrap();
+        assert!((f.max_pps() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distinct_ports_and_sources() {
+        let mut t = FlowTable::new(300);
+        for (i, port) in [80u16, 443, 80, 8080].iter().enumerate() {
+            let b = bs("203.0.113.1", Some(*port), &format!("44.0.0.{}", i + 1));
+            t.offer(&b, SimTime(i as u64), 1, 40);
+        }
+        let f = t.drain().pop().unwrap();
+        assert_eq!(f.distinct_ports(), 3);
+        assert_eq!(f.single_port(), None);
+        assert_eq!(f.distinct_sources(), 4);
+    }
+
+    #[test]
+    fn dominant_proto() {
+        let mut t = FlowTable::new(300);
+        let mut b = bs("203.0.113.1", Some(80), "44.0.0.1");
+        t.offer(&b, SimTime(0), 10, 400);
+        b.attack_proto = TransportProto::Udp;
+        t.offer(&b, SimTime(1), 3, 120);
+        let f = t.drain().pop().unwrap();
+        assert_eq!(f.dominant_proto(), TransportProto::Tcp);
+    }
+
+    #[test]
+    fn flows_keyed_by_victim() {
+        let mut t = FlowTable::new(300);
+        t.offer(&bs("203.0.113.1", Some(80), "44.0.0.1"), SimTime(0), 1, 40);
+        t.offer(&bs("203.0.113.2", Some(80), "44.0.0.1"), SimTime(0), 1, 40);
+        assert_eq!(t.len(), 2);
+    }
+}

@@ -1,0 +1,58 @@
+//! The capture record the telescope pipeline consumes.
+//!
+//! Real darknet processing reads pcap; simulating every packet of a
+//! 100 kpps flood is infeasible, so the renderers emit [`PacketBatch`]es —
+//! one representative wire-format packet plus a repeat count within a
+//! one-second bucket, the same compression a pcap aggregator would apply.
+//! Every batch's bytes are parsed through `dosscope-wire`'s checked
+//! parsers, so the byte-level decode path is exercised on every batch.
+
+use dosscope_types::SimTime;
+
+/// A batch of `count` identical packets captured at `ts`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PacketBatch {
+    /// Capture timestamp (second granularity; all packets of the batch
+    /// fall within this second).
+    pub ts: SimTime,
+    /// How many identical packets the batch stands for (≥ 1).
+    pub count: u32,
+    /// One representative packet, starting at the IPv4 header.
+    pub bytes: Vec<u8>,
+}
+
+impl PacketBatch {
+    /// A batch of one packet.
+    pub fn single(ts: SimTime, bytes: Vec<u8>) -> PacketBatch {
+        PacketBatch { ts, count: 1, bytes }
+    }
+
+    /// A batch of `count` identical packets.
+    pub fn repeated(ts: SimTime, count: u32, bytes: Vec<u8>) -> PacketBatch {
+        debug_assert!(count >= 1, "batch must stand for at least one packet");
+        PacketBatch {
+            ts,
+            count: count.max(1),
+            bytes,
+        }
+    }
+
+    /// Total bytes on the wire this batch stands for.
+    pub fn total_bytes(&self) -> u64 {
+        self.count as u64 * self.bytes.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let b = PacketBatch::repeated(SimTime(5), 10, vec![0u8; 40]);
+        assert_eq!(b.total_bytes(), 400);
+        let s = PacketBatch::single(SimTime(5), vec![0u8; 40]);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.total_bytes(), 40);
+    }
+}

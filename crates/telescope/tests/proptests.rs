@@ -1,0 +1,109 @@
+//! Property-based tests for the detection pipeline: conservation laws of
+//! the flow table and filter monotonicity of the detector.
+
+use dosscope_telescope::{DetectorConfig, PacketBatch, RsdosDetector, Telescope};
+use dosscope_types::SimTime;
+use dosscope_wire::builder;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+/// An arbitrary attack script: (victim octet, start, duration, pps, port).
+fn arb_attack() -> impl Strategy<Value = (u8, u64, u64, u32, u16)> {
+    (1u8..40, 0u64..50_000, 30u64..2_000, 1u32..20, 1u16..1024)
+}
+
+fn render(attacks: &[(u8, u64, u64, u32, u16)]) -> Vec<PacketBatch> {
+    let mut batches = Vec::new();
+    for &(v, start, dur, pps, port) in attacks {
+        let victim = Ipv4Addr::new(203, 0, 113, v);
+        for s in 0..dur {
+            let spoofed = Ipv4Addr::new(44, (s % 250) as u8, ((s / 250) % 250) as u8, 1);
+            let pkt = builder::tcp_syn_ack(victim, port, spoofed, 40_000, s as u32);
+            batches.push(PacketBatch::repeated(SimTime(start + s), pps, pkt));
+        }
+    }
+    batches.sort_by_key(|b| b.ts);
+    batches
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Conservation: every backscatter packet is attributed to exactly one
+    /// flow; events plus filtered flows equals finalized flows; event
+    /// packet totals never exceed ingested backscatter.
+    #[test]
+    fn conservation_laws(attacks in proptest::collection::vec(arb_attack(), 1..6)) {
+        let batches = render(&attacks);
+        let total_packets: u64 = batches.iter().map(|b| b.count as u64).sum();
+        let mut d = RsdosDetector::with_defaults(Telescope::default_slash8());
+        for b in &batches {
+            d.ingest(b);
+        }
+        let (events, stats) = d.finish();
+        prop_assert_eq!(stats.backscatter_packets, total_packets);
+        prop_assert_eq!(stats.events as usize, events.len());
+        prop_assert_eq!(stats.events + stats.flows_filtered, stats.flows_finalized);
+        let event_packets: u64 = events.iter().map(|e| e.packets).sum();
+        prop_assert!(event_packets <= total_packets);
+        // Every event satisfies the published thresholds.
+        for e in &events {
+            prop_assert!(e.packets >= 25);
+            prop_assert!(e.duration_secs() >= 60);
+            prop_assert!(e.intensity_pps >= 0.5);
+        }
+    }
+
+    /// Filter monotonicity: loosening every threshold can only produce at
+    /// least as many events, and the published-threshold events are a
+    /// subset of the loose ones (by victim and start).
+    #[test]
+    fn filters_are_monotone(attacks in proptest::collection::vec(arb_attack(), 1..5)) {
+        let batches = render(&attacks);
+        let run = |config: DetectorConfig| {
+            let mut d = RsdosDetector::new(Telescope::default_slash8(), config);
+            for b in &batches {
+                d.ingest(b);
+            }
+            d.finish().0
+        };
+        let published = run(DetectorConfig::default());
+        let loose = run(DetectorConfig {
+            min_packets: 0,
+            min_duration_secs: 0,
+            min_max_pps: 0.0,
+            ..DetectorConfig::default()
+        });
+        prop_assert!(loose.len() >= published.len());
+        for e in &published {
+            prop_assert!(
+                loose.iter().any(|l| l.target == e.target && l.when == e.when),
+                "published event missing from loose run"
+            );
+        }
+    }
+
+    /// Flow splitting: the same script with a shorter flow timeout never
+    /// yields fewer finalized flows.
+    #[test]
+    fn shorter_timeout_never_merges(attacks in proptest::collection::vec(arb_attack(), 1..5)) {
+        let batches = render(&attacks);
+        let finalized = |timeout: u64| {
+            let mut d = RsdosDetector::new(
+                Telescope::default_slash8(),
+                DetectorConfig {
+                    flow_timeout_secs: timeout,
+                    min_packets: 0,
+                    min_duration_secs: 0,
+                    min_max_pps: 0.0,
+                },
+            );
+            for b in &batches {
+                d.ingest(b);
+            }
+            d.finish().1.flows_finalized
+        };
+        prop_assert!(finalized(30) >= finalized(300));
+        prop_assert!(finalized(300) >= finalized(100_000));
+    }
+}

@@ -1,0 +1,28 @@
+//! # dosscope-types
+//!
+//! Shared domain types for the `dosscope` workspace: simulation time and
+//! calendar handling, IPv4 prefix arithmetic, the unified attack-event model
+//! produced by the measurement pipelines, and a small statistics toolkit
+//! (empirical CDFs, percentiles, log-binned histograms, daily time series)
+//! used by the analysis and reporting layers.
+//!
+//! The crate is dependency-free (std only) so every other crate in the
+//! workspace can build on it without pulling in anything else.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod net;
+pub mod service;
+pub mod stats;
+pub mod time;
+
+pub use event::{
+    AttackEvent, AttackVector, EventSource, PortSignature, ReflectionProtocol, TransportProto,
+};
+pub use net::{Asn, CountryCode, Ipv4Cidr, Prefix16, Prefix24};
+pub use stats::{Ecdf, FrozenEcdf, LogHistogram, RunningStats, TimeSeries};
+pub use time::{
+    CalendarDate, DayIndex, SimTime, TimeRange, SECS_PER_DAY, SECS_PER_HOUR, SECS_PER_MINUTE,
+};

@@ -1,0 +1,138 @@
+//! Mapping of single target ports to named services (Table 8).
+//!
+//! The paper maps the target port of single-port randomly spoofed attacks to
+//! applications using IANA assignments plus commonly used port numbers.
+//! This module encodes the subset of that mapping the analysis needs —
+//! anything not in the table renders as the bare port number, exactly like
+//! the gaming ports in Table 8b.
+
+use crate::event::TransportProto;
+
+/// Well-known TCP port for HTTP.
+pub const PORT_HTTP: u16 = 80;
+/// Well-known TCP port for HTTPS.
+pub const PORT_HTTPS: u16 = 443;
+/// Well-known port for MySQL.
+pub const PORT_MYSQL: u16 = 3306;
+/// Well-known port for DNS.
+pub const PORT_DNS: u16 = 53;
+/// Well-known TCP port for PPTP VPN control.
+pub const PORT_PPTP: u16 = 1723;
+/// Source-engine game server port (Steam), the top UDP target in Table 8b.
+pub const PORT_STEAM_GAME: u16 = 27015;
+
+/// A named service associated with a port, or the bare port when no common
+/// assignment exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Service {
+    /// Plain-text Web (80/TCP).
+    Http,
+    /// TLS Web (443/TCP).
+    Https,
+    /// MySQL (3306).
+    MySql,
+    /// Domain Name System (53).
+    Dns,
+    /// PPTP VPN (1723/TCP).
+    VpnPptp,
+    /// NTP (123/UDP).
+    Ntp,
+    /// NetBIOS datagram service (138/UDP).
+    NetBios,
+    /// No well-known assignment; the raw port number is reported.
+    Port(u16),
+}
+
+impl Service {
+    /// Classify a single target port under a transport protocol.
+    ///
+    /// The mapping mirrors the paper: IANA assignments for common service
+    /// ports, everything else (notably the gaming ports that dominate the
+    /// UDP ranking) stays numeric.
+    pub fn classify(proto: TransportProto, port: u16) -> Service {
+        match (proto, port) {
+            (TransportProto::Tcp, PORT_HTTP) => Service::Http,
+            (TransportProto::Tcp, PORT_HTTPS) => Service::Https,
+            (_, PORT_MYSQL) => Service::MySql,
+            (_, PORT_DNS) => Service::Dns,
+            (TransportProto::Tcp, PORT_PPTP) => Service::VpnPptp,
+            (TransportProto::Udp, 123) => Service::Ntp,
+            (TransportProto::Udp, 138) => Service::NetBios,
+            (_, p) => Service::Port(p),
+        }
+    }
+
+    /// Whether this service is Web infrastructure (HTTP or HTTPS) — the
+    /// paper's "attacks potentially targeting Web infrastructure".
+    pub fn is_web(&self) -> bool {
+        matches!(self, Service::Http | Service::Https)
+    }
+}
+
+/// Whether a single TCP/UDP port is a Web infrastructure port (80 or 443).
+pub fn is_web_port(port: u16) -> bool {
+    port == PORT_HTTP || port == PORT_HTTPS
+}
+
+impl std::fmt::Display for Service {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Service::Http => f.write_str("HTTP"),
+            Service::Https => f.write_str("HTTPS"),
+            Service::MySql => f.write_str("MySQL"),
+            Service::Dns => f.write_str("DNS"),
+            Service::VpnPptp => f.write_str("VPN PPTP"),
+            Service::Ntp => f.write_str("NTP"),
+            Service::NetBios => f.write_str("NetBIOS"),
+            Service::Port(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tcp_web_ports() {
+        assert_eq!(Service::classify(TransportProto::Tcp, 80), Service::Http);
+        assert_eq!(Service::classify(TransportProto::Tcp, 443), Service::Https);
+        assert!(Service::Http.is_web());
+        assert!(Service::Https.is_web());
+        assert!(!Service::MySql.is_web());
+    }
+
+    #[test]
+    fn udp_gaming_port_is_numeric() {
+        let s = Service::classify(TransportProto::Udp, PORT_STEAM_GAME);
+        assert_eq!(s, Service::Port(27015));
+        assert_eq!(s.to_string(), "27015");
+    }
+
+    #[test]
+    fn udp_80_is_not_http() {
+        // HTTP is a TCP service; UDP/80 stays numeric in the table.
+        assert_eq!(Service::classify(TransportProto::Udp, 80), Service::Port(80));
+    }
+
+    #[test]
+    fn shared_ports() {
+        assert_eq!(Service::classify(TransportProto::Udp, 3306), Service::MySql);
+        assert_eq!(Service::classify(TransportProto::Tcp, 3306), Service::MySql);
+        assert_eq!(Service::classify(TransportProto::Tcp, 53), Service::Dns);
+        assert_eq!(Service::classify(TransportProto::Udp, 53), Service::Dns);
+    }
+
+    #[test]
+    fn is_web_port_helper() {
+        assert!(is_web_port(80));
+        assert!(is_web_port(443));
+        assert!(!is_web_port(8080));
+    }
+
+    #[test]
+    fn display_names_match_paper() {
+        assert_eq!(Service::VpnPptp.to_string(), "VPN PPTP");
+        assert_eq!(Service::MySql.to_string(), "MySQL");
+    }
+}

@@ -1,0 +1,298 @@
+//! High-level constructors for the complete IPv4 packets the simulators
+//! exchange: backscatter responses emitted by flood victims (SYN/ACK, RST,
+//! ICMP echo replies and error messages quoting the offending packet), and
+//! the spoofed reflection requests honeypots receive.
+//!
+//! Each builder returns an owned, fully checksummed packet; every builder
+//! has a round-trip test through the checked parser, and `dosscope-telescope`
+//! and `dosscope-amppot` consume these bytes through the same parsers, so
+//! the simulated data path exercises real encode/decode on both ends.
+//!
+//! ```
+//! use dosscope_wire::{builder, Ipv4Packet, TcpSegment};
+//!
+//! // A victim's SYN/ACK to one of the flood's spoofed sources.
+//! let pkt = builder::tcp_syn_ack(
+//!     "203.0.113.80".parse().unwrap(), 80,
+//!     "44.1.2.3".parse().unwrap(), 40_000, 1,
+//! );
+//! let ip = Ipv4Packet::new_checked(pkt.as_slice()).unwrap();
+//! assert!(ip.verify_checksum());
+//! let tcp = TcpSegment::new_checked(ip.payload()).unwrap();
+//! assert!(tcp.flags().is_syn_ack());
+//! ```
+
+use crate::icmp::{self, Icmpv4Message, Icmpv4Packet};
+use crate::ipv4::{self, IpProtocol, Ipv4Packet};
+use crate::reflect;
+use crate::tcp::{self, TcpFlags, TcpSegment};
+use crate::udp::{self, UdpDatagram};
+use dosscope_types::ReflectionProtocol;
+use std::net::Ipv4Addr;
+
+fn ipv4_shell(
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+    proto: IpProtocol,
+    ident: u16,
+    payload_len: usize,
+) -> Vec<u8> {
+    let total = ipv4::HEADER_LEN + payload_len;
+    let mut buf = vec![0u8; total];
+    let mut ip = Ipv4Packet::new_unchecked(&mut buf[..]);
+    ip.init();
+    ip.set_total_len(total as u16);
+    ip.set_protocol(proto);
+    ip.set_src(src);
+    ip.set_dst(dst);
+    ip.set_ident(ident);
+    buf
+}
+
+fn finish_ip(mut buf: Vec<u8>) -> Vec<u8> {
+    let mut ip = Ipv4Packet::new_unchecked(&mut buf[..]);
+    ip.fill_checksum();
+    buf
+}
+
+/// A TCP SYN/ACK from `victim:victim_port` to a spoofed source — the
+/// backscatter of a SYN flood against an open port.
+pub fn tcp_syn_ack(
+    victim: Ipv4Addr,
+    victim_port: u16,
+    spoofed: Ipv4Addr,
+    spoofed_port: u16,
+    seq: u32,
+) -> Vec<u8> {
+    tcp_response(
+        victim,
+        victim_port,
+        spoofed,
+        spoofed_port,
+        seq,
+        TcpFlags::SYN | TcpFlags::ACK,
+    )
+}
+
+/// A TCP RST from `victim:victim_port` — the backscatter of a flood against
+/// a closed port (or a stateless RST responder).
+pub fn tcp_rst(
+    victim: Ipv4Addr,
+    victim_port: u16,
+    spoofed: Ipv4Addr,
+    spoofed_port: u16,
+    seq: u32,
+) -> Vec<u8> {
+    tcp_response(
+        victim,
+        victim_port,
+        spoofed,
+        spoofed_port,
+        seq,
+        TcpFlags::RST | TcpFlags::ACK,
+    )
+}
+
+fn tcp_response(
+    victim: Ipv4Addr,
+    victim_port: u16,
+    spoofed: Ipv4Addr,
+    spoofed_port: u16,
+    seq: u32,
+    flags: TcpFlags,
+) -> Vec<u8> {
+    let mut buf = ipv4_shell(victim, spoofed, IpProtocol::Tcp, seq as u16, tcp::HEADER_LEN);
+    {
+        let mut ip = Ipv4Packet::new_unchecked(&mut buf[..]);
+        let mut seg = TcpSegment::new_unchecked(ip.payload_mut());
+        seg.init();
+        seg.set_src_port(victim_port);
+        seg.set_dst_port(spoofed_port);
+        seg.set_seq(seq);
+        seg.set_ack(seq.wrapping_add(1));
+        seg.set_flags(flags);
+        seg.set_window(16_384);
+        seg.fill_checksum(victim, spoofed);
+    }
+    finish_ip(buf)
+}
+
+/// An ICMP echo reply from the victim of a ping flood to a spoofed source.
+pub fn icmp_echo_reply(victim: Ipv4Addr, spoofed: Ipv4Addr, ident: u16, seq: u16) -> Vec<u8> {
+    let mut buf = ipv4_shell(victim, spoofed, IpProtocol::Icmp, seq, icmp::HEADER_LEN + 8);
+    {
+        let mut ip = Ipv4Packet::new_unchecked(&mut buf[..]);
+        let mut ic = Icmpv4Packet::new_unchecked(ip.payload_mut());
+        ic.set_message(Icmpv4Message::EchoReply);
+        ic.set_code(0);
+        ic.set_ident(ident);
+        ic.set_seq_no(seq);
+        ic.fill_checksum();
+    }
+    finish_ip(buf)
+}
+
+/// An ICMP destination-unreachable from the victim of a UDP (or other
+/// connectionless) flood, quoting the offending packet: inner source is the
+/// spoofed address the flood claimed, inner destination is the victim.
+///
+/// `inner_proto`/`inner_dst_port` describe the flood packet being quoted —
+/// the telescope's attribution of UDP attacks reads exactly these fields
+/// back out of the quotation.
+pub fn icmp_dest_unreachable(
+    victim: Ipv4Addr,
+    spoofed: Ipv4Addr,
+    inner_proto: IpProtocol,
+    inner_src_port: u16,
+    inner_dst_port: u16,
+    code: u8,
+) -> Vec<u8> {
+    // Quoted packet: IPv4 header + 8 bytes of transport header, per RFC 792.
+    let inner_len = ipv4::HEADER_LEN + 8;
+    let mut inner = vec![0u8; inner_len];
+    {
+        let mut ip = Ipv4Packet::new_unchecked(&mut inner[..]);
+        ip.init();
+        ip.set_total_len(inner_len as u16);
+        ip.set_protocol(inner_proto);
+        ip.set_src(spoofed);
+        ip.set_dst(victim);
+        ip.fill_checksum();
+        let payload = ip.payload_mut();
+        payload[0..2].copy_from_slice(&inner_src_port.to_be_bytes());
+        payload[2..4].copy_from_slice(&inner_dst_port.to_be_bytes());
+        if inner_proto == IpProtocol::Udp {
+            payload[4..6].copy_from_slice(&(8u16).to_be_bytes());
+        }
+    }
+
+    let mut buf = ipv4_shell(
+        victim,
+        spoofed,
+        IpProtocol::Icmp,
+        0,
+        icmp::HEADER_LEN + inner_len,
+    );
+    {
+        let mut ip = Ipv4Packet::new_unchecked(&mut buf[..]);
+        let mut ic = Icmpv4Packet::new_unchecked(ip.payload_mut());
+        ic.set_message(Icmpv4Message::DestUnreachable);
+        ic.set_code(code);
+        ic.payload_mut().copy_from_slice(&inner);
+        ic.fill_checksum();
+    }
+    finish_ip(buf)
+}
+
+/// A spoofed reflection request: UDP datagram carrying the protocol's abuse
+/// payload, with the *victim* as source (that's the point of reflection)
+/// and a honeypot as destination.
+pub fn reflection_request(
+    victim: Ipv4Addr,
+    victim_port: u16,
+    honeypot: Ipv4Addr,
+    protocol: ReflectionProtocol,
+) -> Vec<u8> {
+    let payload = reflect::encode_request(protocol);
+    let udp_len = udp::HEADER_LEN + payload.len();
+    let mut buf = ipv4_shell(victim, honeypot, IpProtocol::Udp, 0, udp_len);
+    {
+        let mut ip = Ipv4Packet::new_unchecked(&mut buf[..]);
+        let mut u = UdpDatagram::new_unchecked(ip.payload_mut());
+        u.set_src_port(victim_port);
+        u.set_dst_port(protocol.port());
+        u.set_len(udp_len as u16);
+        u.payload_mut().copy_from_slice(&payload);
+        u.fill_checksum(victim, honeypot);
+    }
+    finish_ip(buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v() -> Ipv4Addr {
+        "203.0.113.10".parse().unwrap()
+    }
+    fn s() -> Ipv4Addr {
+        "45.12.99.3".parse().unwrap()
+    }
+
+    #[test]
+    fn syn_ack_parses_and_verifies() {
+        let pkt = tcp_syn_ack(v(), 80, s(), 41000, 0xDEADBEEF);
+        let ip = Ipv4Packet::new_checked(&pkt[..]).unwrap();
+        assert!(ip.verify_checksum());
+        assert_eq!(ip.protocol(), IpProtocol::Tcp);
+        assert_eq!(ip.src(), v());
+        assert_eq!(ip.dst(), s());
+        let seg = TcpSegment::new_checked(ip.payload()).unwrap();
+        assert!(seg.flags().is_syn_ack());
+        assert_eq!(seg.src_port(), 80);
+        assert_eq!(seg.dst_port(), 41000);
+        assert!(seg.verify_checksum(ip.src(), ip.dst()));
+    }
+
+    #[test]
+    fn rst_parses() {
+        let pkt = tcp_rst(v(), 443, s(), 50000, 7);
+        let ip = Ipv4Packet::new_checked(&pkt[..]).unwrap();
+        let seg = TcpSegment::new_checked(ip.payload()).unwrap();
+        assert!(seg.flags().is_rst());
+        assert!(seg.verify_checksum(ip.src(), ip.dst()));
+    }
+
+    #[test]
+    fn echo_reply_parses() {
+        let pkt = icmp_echo_reply(v(), s(), 9, 11);
+        let ip = Ipv4Packet::new_checked(&pkt[..]).unwrap();
+        assert_eq!(ip.protocol(), IpProtocol::Icmp);
+        let ic = Icmpv4Packet::new_checked(ip.payload()).unwrap();
+        assert_eq!(ic.message(), Icmpv4Message::EchoReply);
+        assert!(ic.verify_checksum());
+        assert_eq!(ic.ident(), 9);
+        assert_eq!(ic.seq_no(), 11);
+    }
+
+    #[test]
+    fn dest_unreachable_quotes_flood_packet() {
+        let pkt = icmp_dest_unreachable(v(), s(), IpProtocol::Udp, 53111, 27015, 3);
+        let ip = Ipv4Packet::new_checked(&pkt[..]).unwrap();
+        assert_eq!(ip.src(), v(), "outer source is the victim");
+        let ic = Icmpv4Packet::new_checked(ip.payload()).unwrap();
+        assert!(ic.verify_checksum());
+        let quoted = ic.quoted_packet().expect("inner packet parses");
+        assert_eq!(quoted.protocol(), IpProtocol::Udp);
+        assert_eq!(quoted.src(), s(), "inner source is the spoofed address");
+        assert_eq!(quoted.dst(), v(), "inner destination is the victim");
+        let inner_udp = UdpDatagram::new_checked(quoted.payload()).unwrap();
+        assert_eq!(inner_udp.dst_port(), 27015, "attacked port is recoverable");
+    }
+
+    #[test]
+    fn dest_unreachable_igmp_quotation() {
+        let pkt = icmp_dest_unreachable(v(), s(), IpProtocol::Igmp, 0, 0, 2);
+        let ip = Ipv4Packet::new_checked(&pkt[..]).unwrap();
+        let ic = Icmpv4Packet::new_checked(ip.payload()).unwrap();
+        let quoted = ic.quoted_packet().unwrap();
+        assert_eq!(quoted.protocol(), IpProtocol::Igmp);
+    }
+
+    #[test]
+    fn reflection_requests_classify_for_all_protocols() {
+        for proto in ReflectionProtocol::ALL {
+            let pkt = reflection_request(v(), 4444, s(), proto);
+            let ip = Ipv4Packet::new_checked(&pkt[..]).unwrap();
+            assert!(ip.verify_checksum());
+            assert_eq!(ip.src(), v(), "spoofed source must be the victim");
+            let u = UdpDatagram::new_checked(ip.payload()).unwrap();
+            assert!(u.verify_checksum(ip.src(), ip.dst()));
+            assert_eq!(u.dst_port(), proto.port());
+            assert_eq!(
+                reflect::classify_request(u.dst_port(), u.payload()),
+                Some(proto)
+            );
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! RFC 1071 Internet checksum, shared by the IPv4, ICMP, TCP and UDP
+//! formats, plus the TCP/UDP pseudo-header combination.
+
+use std::net::Ipv4Addr;
+
+/// One's-complement sum of 16-bit words over `data` (odd trailing byte is
+/// padded with zero), folded to 16 bits. This is the *raw sum*, not the
+/// final checksum — callers combine sums and invert once.
+pub fn sum(data: &[u8]) -> u32 {
+    let mut acc = 0u32;
+    let mut chunks = data.chunks_exact(2);
+    for w in &mut chunks {
+        acc += u16::from_be_bytes([w[0], w[1]]) as u32;
+    }
+    if let [last] = chunks.remainder() {
+        acc += u16::from_be_bytes([*last, 0]) as u32;
+    }
+    acc
+}
+
+/// Fold a 32-bit accumulator into a 16-bit one's-complement value.
+pub fn fold(mut acc: u32) -> u16 {
+    while acc > 0xFFFF {
+        acc = (acc & 0xFFFF) + (acc >> 16);
+    }
+    acc as u16
+}
+
+/// Final checksum over a contiguous buffer: `!fold(sum(data))`.
+pub fn checksum(data: &[u8]) -> u16 {
+    !fold(sum(data))
+}
+
+/// The TCP/UDP pseudo-header sum: source, destination, zero/protocol byte
+/// pair and the upper-layer length.
+pub fn pseudo_header_sum(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8, len: u16) -> u32 {
+    let s = src.octets();
+    let d = dst.octets();
+    sum(&s) + sum(&d) + protocol as u32 + len as u32
+}
+
+/// Checksum of an upper-layer segment including its pseudo-header.
+pub fn transport_checksum(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8, segment: &[u8]) -> u16 {
+    !fold(pseudo_header_sum(src, dst, protocol, segment.len() as u16) + sum(segment))
+}
+
+/// Verify a buffer whose checksum field is already filled in: the folded
+/// sum over the whole buffer (including the checksum) must be 0xFFFF.
+pub fn verify(data: &[u8]) -> bool {
+    fold(sum(data)) == 0xFFFF
+}
+
+/// Verify an upper-layer segment (checksum field included) together with
+/// its pseudo-header.
+pub fn verify_transport(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8, segment: &[u8]) -> bool {
+    fold(pseudo_header_sum(src, dst, protocol, segment.len() as u16) + sum(segment)) == 0xFFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_example() {
+        // The classic example from RFC 1071 §3.
+        let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(fold(sum(&data)), 0xddf2);
+        assert_eq!(checksum(&data), !0xddf2);
+    }
+
+    #[test]
+    fn odd_length_padding() {
+        assert_eq!(sum(&[0xab]), 0xab00);
+        assert_eq!(sum(&[0x12, 0x34, 0x56]), 0x1234 + 0x5600);
+    }
+
+    #[test]
+    fn verify_roundtrip() {
+        let mut data = vec![0x45u8, 0x00, 0x00, 0x14, 0x00, 0x00, 0x00, 0x00, 0x40, 0x06, 0, 0];
+        let ck = checksum(&data);
+        data[10..12].copy_from_slice(&ck.to_be_bytes());
+        assert!(verify(&data));
+        data[0] ^= 0x01;
+        assert!(!verify(&data));
+    }
+
+    #[test]
+    fn transport_roundtrip() {
+        let src: Ipv4Addr = "192.0.2.1".parse().unwrap();
+        let dst: Ipv4Addr = "198.51.100.2".parse().unwrap();
+        let mut seg = vec![0u8; 12];
+        seg[0..2].copy_from_slice(&1234u16.to_be_bytes());
+        seg[2..4].copy_from_slice(&80u16.to_be_bytes());
+        let ck = transport_checksum(src, dst, 6, &seg);
+        seg[6..8].copy_from_slice(&ck.to_be_bytes()); // pretend offset 6 is the checksum
+        assert!(verify_transport(src, dst, 6, &seg));
+        // The pseudo-header sum is commutative in src/dst, so swap alone
+        // would still verify; use a genuinely different address.
+        let other: Ipv4Addr = "192.0.2.2".parse().unwrap();
+        assert!(!verify_transport(other, dst, 6, &seg));
+    }
+
+    #[test]
+    fn empty_buffer() {
+        assert_eq!(sum(&[]), 0);
+        assert_eq!(checksum(&[]), 0xFFFF);
+    }
+}

@@ -1,0 +1,66 @@
+//! # dosscope-wire
+//!
+//! Packet wire formats for the dosscope simulators, in the smoltcp idiom:
+//! typed, zero-copy *views* over byte buffers ([`Ipv4Packet`],
+//! [`TcpSegment`], [`UdpDatagram`], [`Icmpv4Packet`]) that parse on access
+//! and validate on construction, plus builders that emit well-formed packets
+//! (correct lengths and Internet checksums).
+//!
+//! The telescope pipeline classifies *backscatter* — response packets such
+//! as TCP SYN/ACK, TCP RST and a list of ICMP message types — so the ICMP
+//! view also exposes the quoted inner packet of error messages, which the
+//! detector uses to attribute UDP floods (an ICMP destination-unreachable
+//! quoting a UDP packet counts as a UDP attack).
+//!
+//! The honeypot side needs the *request payloads* of the eight reflection
+//! protocols AmpPot emulates; [`reflect`] provides minimal but structurally
+//! valid request encoders/decoders for those (DNS query header, NTP monlist
+//! mode-7 request, SSDP M-SEARCH, and so on).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod checksum;
+pub mod icmp;
+pub mod ipv4;
+pub mod reflect;
+pub mod tcp;
+pub mod udp;
+
+pub use icmp::{Icmpv4Message, Icmpv4Packet};
+pub use ipv4::{IpProtocol, Ipv4Packet};
+pub use tcp::{TcpFlags, TcpSegment};
+pub use udp::UdpDatagram;
+
+/// Errors raised when parsing or building wire formats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer is shorter than the fixed header of the format.
+    Truncated,
+    /// A length field points outside the buffer.
+    BadLength,
+    /// A version/format discriminator has an unsupported value.
+    BadVersion,
+    /// The checksum does not verify.
+    BadChecksum,
+    /// A field value is outside the representable/permitted range.
+    BadField,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => f.write_str("buffer truncated"),
+            WireError::BadLength => f.write_str("length field out of range"),
+            WireError::BadVersion => f.write_str("unsupported version"),
+            WireError::BadChecksum => f.write_str("checksum mismatch"),
+            WireError::BadField => f.write_str("field value out of range"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Convenience alias for wire-format results.
+pub type Result<T> = std::result::Result<T, WireError>;

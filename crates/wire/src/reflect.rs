@@ -1,0 +1,294 @@
+//! Request payloads for the eight reflection protocols AmpPot emulates
+//! (QOTD, CharGen, DNS, NTP, SSDP, MSSQL, RIPv1, TFTP).
+//!
+//! Attackers elicit amplified responses by sending small, well-known request
+//! payloads with the victim's address spoofed as the source. This module
+//! encodes structurally valid requests and classifies received payloads so
+//! the honeypot can (a) recognise abuse per protocol and (b) compute the
+//! amplification factor it would have produced.
+
+use dosscope_types::ReflectionProtocol;
+
+/// UDP port for each emulated protocol (delegates to
+/// [`ReflectionProtocol::port`]).
+pub fn protocol_port(p: ReflectionProtocol) -> u16 {
+    p.port()
+}
+
+/// Typical bandwidth amplification factor per protocol, used by the
+/// honeypot to report would-be response sizes. Values follow the ballpark
+/// figures of Rossow's "Amplification Hell" (NDSS 2014).
+pub fn amplification_factor(p: ReflectionProtocol) -> f64 {
+    match p {
+        ReflectionProtocol::Ntp => 556.9,
+        ReflectionProtocol::Dns => 54.6,
+        ReflectionProtocol::CharGen => 358.8,
+        ReflectionProtocol::Ssdp => 30.8,
+        ReflectionProtocol::RipV1 => 131.0,
+        ReflectionProtocol::MsSql => 25.0,
+        ReflectionProtocol::Tftp => 60.0,
+        ReflectionProtocol::Qotd => 140.3,
+    }
+}
+
+/// Encode an abuse request for the given protocol.
+///
+/// The payloads are the canonical small probes attackers use: NTP
+/// `monlist`, DNS `ANY` query, a single CharGen byte, SSDP `M-SEARCH`,
+/// RIPv1 full-table request, MS-SQL browser ping, TFTP read request, and an
+/// empty QOTD trigger.
+pub fn encode_request(p: ReflectionProtocol) -> Vec<u8> {
+    match p {
+        ReflectionProtocol::Ntp => ntp_monlist(),
+        ReflectionProtocol::Dns => dns_any_query("example.com"),
+        ReflectionProtocol::CharGen => vec![0x01],
+        ReflectionProtocol::Ssdp => ssdp_msearch(),
+        ReflectionProtocol::RipV1 => ripv1_request(),
+        ReflectionProtocol::MsSql => vec![0x02],
+        ReflectionProtocol::Tftp => tftp_rrq("a.pdf"),
+        ReflectionProtocol::Qotd => vec![0x0a],
+    }
+}
+
+/// Classify a UDP payload received on `port`: is it a plausible abuse
+/// request for one of the emulated protocols?
+///
+/// Classification is port-first (the honeypot listens per-protocol) with a
+/// payload sanity check, mirroring AmpPot's per-port service emulation.
+pub fn classify_request(port: u16, payload: &[u8]) -> Option<ReflectionProtocol> {
+    let proto = match port {
+        123 => ReflectionProtocol::Ntp,
+        53 => ReflectionProtocol::Dns,
+        19 => ReflectionProtocol::CharGen,
+        1900 => ReflectionProtocol::Ssdp,
+        520 => ReflectionProtocol::RipV1,
+        1434 => ReflectionProtocol::MsSql,
+        69 => ReflectionProtocol::Tftp,
+        17 => ReflectionProtocol::Qotd,
+        _ => return None,
+    };
+    let ok = match proto {
+        ReflectionProtocol::Ntp => is_ntp_monlist(payload),
+        ReflectionProtocol::Dns => is_dns_query(payload),
+        ReflectionProtocol::CharGen | ReflectionProtocol::Qotd => true,
+        ReflectionProtocol::Ssdp => is_ssdp_msearch(payload),
+        ReflectionProtocol::RipV1 => is_ripv1_request(payload),
+        ReflectionProtocol::MsSql => is_mssql_ping(payload),
+        ReflectionProtocol::Tftp => is_tftp_rrq(payload),
+    };
+    ok.then_some(proto)
+}
+
+/// NTP mode-7 `monlist` request (implementation 3 = XNTPD, request code
+/// 42 = MON_GETLIST_1), the classic NTP amplification vector.
+pub fn ntp_monlist() -> Vec<u8> {
+    let mut p = vec![0u8; 8];
+    p[0] = 0x17; // LI=0, version 2, mode 7 (private)
+    p[1] = 0x00; // auth=0, sequence 0
+    p[2] = 0x03; // implementation: XNTPD
+    p[3] = 0x2a; // request code: MON_GETLIST_1
+    p
+}
+
+/// Recognise an NTP private-mode monlist request.
+pub fn is_ntp_monlist(payload: &[u8]) -> bool {
+    payload.len() >= 4 && payload[0] & 0x07 == 7 && payload[2] == 0x03 && payload[3] == 0x2a
+}
+
+/// A DNS query for `QTYPE ANY` over `name`, the classic DNS amplification
+/// vector (often combined with EDNS0; we keep the minimal form).
+pub fn dns_any_query(name: &str) -> Vec<u8> {
+    let mut p = Vec::with_capacity(17 + name.len());
+    p.extend_from_slice(&0x1234u16.to_be_bytes()); // transaction id
+    p.extend_from_slice(&0x0100u16.to_be_bytes()); // flags: RD
+    p.extend_from_slice(&1u16.to_be_bytes()); // QDCOUNT
+    p.extend_from_slice(&[0, 0, 0, 0, 0, 0]); // AN/NS/AR
+    for label in name.split('.').filter(|l| !l.is_empty()) {
+        let bytes = label.as_bytes();
+        p.push(bytes.len().min(63) as u8);
+        p.extend_from_slice(&bytes[..bytes.len().min(63)]);
+    }
+    p.push(0); // root
+    p.extend_from_slice(&255u16.to_be_bytes()); // QTYPE ANY
+    p.extend_from_slice(&1u16.to_be_bytes()); // QCLASS IN
+    p
+}
+
+/// Recognise a DNS query: QR bit clear, at least one question, and a
+/// parseable QNAME.
+pub fn is_dns_query(payload: &[u8]) -> bool {
+    if payload.len() < 17 {
+        return false;
+    }
+    let flags = u16::from_be_bytes([payload[2], payload[3]]);
+    if flags & 0x8000 != 0 {
+        return false; // QR set: a response, not a query
+    }
+    let qdcount = u16::from_be_bytes([payload[4], payload[5]]);
+    if qdcount == 0 {
+        return false;
+    }
+    // Walk the first QNAME.
+    let mut i = 12usize;
+    loop {
+        let Some(&len) = payload.get(i) else {
+            return false;
+        };
+        if len == 0 {
+            break;
+        }
+        if len & 0xC0 != 0 {
+            return false; // compression pointers don't appear in queries
+        }
+        i += 1 + len as usize;
+        if i > payload.len() {
+            return false;
+        }
+    }
+    // Need QTYPE + QCLASS after the terminator.
+    i + 5 <= payload.len()
+}
+
+/// SSDP `M-SEARCH` discovery request.
+pub fn ssdp_msearch() -> Vec<u8> {
+    b"M-SEARCH * HTTP/1.1\r\nHOST: 239.255.255.250:1900\r\nMAN: \"ssdp:discover\"\r\nMX: 1\r\nST: ssdp:all\r\n\r\n"
+        .to_vec()
+}
+
+/// Recognise an SSDP M-SEARCH.
+pub fn is_ssdp_msearch(payload: &[u8]) -> bool {
+    payload.starts_with(b"M-SEARCH")
+}
+
+/// RIPv1 request for the full routing table (command 1, version 1,
+/// AF 0, metric 16).
+pub fn ripv1_request() -> Vec<u8> {
+    let mut p = vec![0u8; 24];
+    p[0] = 1; // command: request
+    p[1] = 1; // version 1
+    p[23] = 16; // metric 16 = whole table
+    p
+}
+
+/// Recognise a RIPv1 full-table request.
+pub fn is_ripv1_request(payload: &[u8]) -> bool {
+    payload.len() >= 24 && payload[0] == 1 && payload[1] == 1
+}
+
+/// Recognise the MS-SQL browser ping (CLNT_UCAST_EX, 0x02 or 0x03).
+pub fn is_mssql_ping(payload: &[u8]) -> bool {
+    matches!(payload.first(), Some(0x02) | Some(0x03))
+}
+
+/// TFTP read request (opcode 1) for `filename` in octet mode.
+pub fn tftp_rrq(filename: &str) -> Vec<u8> {
+    let mut p = Vec::with_capacity(filename.len() + 9);
+    p.extend_from_slice(&1u16.to_be_bytes());
+    p.extend_from_slice(filename.as_bytes());
+    p.push(0);
+    p.extend_from_slice(b"octet");
+    p.push(0);
+    p
+}
+
+/// Recognise a TFTP read request.
+pub fn is_tftp_rrq(payload: &[u8]) -> bool {
+    payload.len() >= 4 && payload[0] == 0 && payload[1] == 1 && payload.last() == Some(&0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [ReflectionProtocol; 8] = [
+        ReflectionProtocol::Ntp,
+        ReflectionProtocol::Dns,
+        ReflectionProtocol::CharGen,
+        ReflectionProtocol::Ssdp,
+        ReflectionProtocol::RipV1,
+        ReflectionProtocol::MsSql,
+        ReflectionProtocol::Tftp,
+        ReflectionProtocol::Qotd,
+    ];
+
+    #[test]
+    fn every_encoded_request_classifies_back() {
+        for p in ALL {
+            let payload = encode_request(p);
+            let port = protocol_port(p);
+            assert_eq!(
+                classify_request(port, &payload),
+                Some(p),
+                "round-trip failed for {p:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_port_is_rejected() {
+        let payload = encode_request(ReflectionProtocol::Ntp);
+        assert_eq!(classify_request(8080, &payload), None);
+    }
+
+    #[test]
+    fn dns_response_is_not_a_query() {
+        let mut q = dns_any_query("example.org");
+        q[2] |= 0x80; // set QR
+        assert!(!is_dns_query(&q));
+    }
+
+    #[test]
+    fn dns_query_must_have_question() {
+        let mut q = dns_any_query("example.org");
+        q[4] = 0;
+        q[5] = 0;
+        assert!(!is_dns_query(&q));
+    }
+
+    #[test]
+    fn dns_qname_walk_bounds() {
+        // Truncated mid-label must not panic and must reject.
+        let q = dns_any_query("a-very-long-label.example.com");
+        assert!(is_dns_query(&q));
+        assert!(!is_dns_query(&q[..14]));
+    }
+
+    #[test]
+    fn ntp_monlist_structure() {
+        let p = ntp_monlist();
+        assert_eq!(p[0] & 0x07, 7, "mode 7");
+        assert!(is_ntp_monlist(&p));
+        assert!(!is_ntp_monlist(&[0x17, 0, 0, 0])); // wrong request code
+    }
+
+    #[test]
+    fn ripv1_metric_16() {
+        let p = ripv1_request();
+        assert_eq!(p.len(), 24);
+        assert_eq!(p[23], 16);
+        assert!(is_ripv1_request(&p));
+        assert!(!is_ripv1_request(&p[..20]));
+    }
+
+    #[test]
+    fn tftp_rrq_structure() {
+        let p = tftp_rrq("large-file.bin");
+        assert!(is_tftp_rrq(&p));
+        assert!(!is_tftp_rrq(b"\x00\x02foo\x00octet\x00")); // WRQ, not RRQ
+    }
+
+    #[test]
+    fn amplification_factors_positive() {
+        for p in ALL {
+            assert!(amplification_factor(p) > 1.0, "{p:?} must amplify");
+        }
+    }
+
+    #[test]
+    fn ports_are_distinct() {
+        let mut ports: Vec<u16> = ALL.iter().map(|&p| protocol_port(p)).collect();
+        ports.sort_unstable();
+        ports.dedup();
+        assert_eq!(ports.len(), 8);
+    }
+}

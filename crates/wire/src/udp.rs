@@ -1,0 +1,171 @@
+//! Zero-copy UDP datagram view.
+
+use crate::{checksum, Result, WireError};
+use std::net::Ipv4Addr;
+
+/// UDP header length in bytes.
+pub const HEADER_LEN: usize = 8;
+
+/// A typed view over a UDP datagram buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpDatagram<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> UdpDatagram<T> {
+    /// Wrap without validation.
+    pub fn new_unchecked(buffer: T) -> UdpDatagram<T> {
+        UdpDatagram { buffer }
+    }
+
+    /// Wrap, validating the fixed header and the length field.
+    pub fn new_checked(buffer: T) -> Result<UdpDatagram<T>> {
+        let d = UdpDatagram { buffer };
+        let data = d.buffer.as_ref();
+        if data.len() < HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        let len = u16::from_be_bytes([data[4], data[5]]) as usize;
+        if len < HEADER_LEN || len > data.len() {
+            return Err(WireError::BadLength);
+        }
+        Ok(d)
+    }
+
+    /// Consume the view, returning the buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[0], d[1]])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[2], d[3]])
+    }
+
+    /// The length field (header + payload).
+    pub fn len_field(&self) -> usize {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[4], d[5]]) as usize
+    }
+
+    /// Payload bytes.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[HEADER_LEN..self.len_field()]
+    }
+
+    /// Verify the checksum (zero means "no checksum" per RFC 768 and
+    /// verifies trivially).
+    pub fn verify_checksum(&self, src: Ipv4Addr, dst: Ipv4Addr) -> bool {
+        let d = self.buffer.as_ref();
+        let ck = u16::from_be_bytes([d[6], d[7]]);
+        if ck == 0 {
+            return true;
+        }
+        checksum::verify_transport(src, dst, 17, &d[..self.len_field()])
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> UdpDatagram<T> {
+    /// Set the source port.
+    pub fn set_src_port(&mut self, p: u16) {
+        self.buffer.as_mut()[0..2].copy_from_slice(&p.to_be_bytes());
+    }
+
+    /// Set the destination port.
+    pub fn set_dst_port(&mut self, p: u16) {
+        self.buffer.as_mut()[2..4].copy_from_slice(&p.to_be_bytes());
+    }
+
+    /// Set the length field.
+    pub fn set_len(&mut self, len: u16) {
+        self.buffer.as_mut()[4..6].copy_from_slice(&len.to_be_bytes());
+    }
+
+    /// Mutable payload region.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let len = self.len_field();
+        &mut self.buffer.as_mut()[HEADER_LEN..len]
+    }
+
+    /// Compute and store the checksum for the given pseudo-header; a
+    /// computed value of zero is transmitted as 0xFFFF per RFC 768.
+    pub fn fill_checksum(&mut self, src: Ipv4Addr, dst: Ipv4Addr) {
+        let len = self.len_field();
+        let d = self.buffer.as_mut();
+        d[6..8].copy_from_slice(&[0, 0]);
+        let mut ck = checksum::transport_checksum(src, dst, 17, &d[..len]);
+        if ck == 0 {
+            ck = 0xFFFF;
+        }
+        d[6..8].copy_from_slice(&ck.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs() -> (Ipv4Addr, Ipv4Addr) {
+        ("198.51.100.1".parse().unwrap(), "203.0.113.2".parse().unwrap())
+    }
+
+    #[test]
+    fn roundtrip() {
+        let (src, dst) = addrs();
+        let mut buf = vec![0u8; HEADER_LEN + 4];
+        let mut u = UdpDatagram::new_unchecked(&mut buf[..]);
+        u.set_src_port(53);
+        u.set_dst_port(33000);
+        u.set_len((HEADER_LEN + 4) as u16);
+        u.payload_mut().copy_from_slice(b"ping");
+        u.fill_checksum(src, dst);
+
+        let v = UdpDatagram::new_checked(&buf[..]).unwrap();
+        assert_eq!(v.src_port(), 53);
+        assert_eq!(v.dst_port(), 33000);
+        assert_eq!(v.payload(), b"ping");
+        assert!(v.verify_checksum(src, dst));
+        let other: Ipv4Addr = "192.0.2.77".parse().unwrap();
+        assert!(!v.verify_checksum(other, dst));
+    }
+
+    #[test]
+    fn zero_checksum_is_accepted() {
+        let (src, dst) = addrs();
+        let mut buf = vec![0u8; HEADER_LEN];
+        let mut u = UdpDatagram::new_unchecked(&mut buf[..]);
+        u.set_len(HEADER_LEN as u16);
+        let v = UdpDatagram::new_checked(&buf[..]).unwrap();
+        assert!(v.verify_checksum(src, dst));
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        assert_eq!(
+            UdpDatagram::new_checked(&[0u8; 7][..]).unwrap_err(),
+            WireError::Truncated
+        );
+    }
+
+    #[test]
+    fn rejects_bad_length_field() {
+        let mut buf = vec![0u8; HEADER_LEN];
+        buf[4..6].copy_from_slice(&100u16.to_be_bytes());
+        assert_eq!(
+            UdpDatagram::new_checked(&buf[..]).unwrap_err(),
+            WireError::BadLength
+        );
+        buf[4..6].copy_from_slice(&4u16.to_be_bytes());
+        assert_eq!(
+            UdpDatagram::new_checked(&buf[..]).unwrap_err(),
+            WireError::BadLength
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests for the wire layer: checked parsers never panic on
+//! arbitrary bytes, builders and parsers are inverse, and classification
+//! invariants hold for every generated packet.
+
+use dosscope_types::ReflectionProtocol;
+use dosscope_wire::{builder, reflect, Icmpv4Packet, IpProtocol, Ipv4Packet, TcpSegment, UdpDatagram};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn arb_addr() -> impl Strategy<Value = Ipv4Addr> {
+    any::<u32>().prop_map(Ipv4Addr::from)
+}
+
+fn arb_protocol() -> impl Strategy<Value = ReflectionProtocol> {
+    prop_oneof![
+        Just(ReflectionProtocol::Ntp),
+        Just(ReflectionProtocol::Dns),
+        Just(ReflectionProtocol::CharGen),
+        Just(ReflectionProtocol::Ssdp),
+        Just(ReflectionProtocol::RipV1),
+        Just(ReflectionProtocol::MsSql),
+        Just(ReflectionProtocol::Tftp),
+        Just(ReflectionProtocol::Qotd),
+    ]
+}
+
+proptest! {
+    /// Checked parsers must never panic, whatever the bytes.
+    #[test]
+    fn parsers_never_panic_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let _ = Ipv4Packet::new_checked(bytes.as_slice());
+        let _ = TcpSegment::new_checked(bytes.as_slice());
+        let _ = UdpDatagram::new_checked(bytes.as_slice());
+        let _ = Icmpv4Packet::new_checked(bytes.as_slice());
+        // Reflection classification over arbitrary payloads is total.
+        let _ = reflect::classify_request(53, &bytes);
+        let _ = reflect::classify_request(123, &bytes);
+        let _ = reflect::classify_request(0, &bytes);
+    }
+
+    /// If a checked IPv4 parse succeeds on garbage, every accessor must be
+    /// in-bounds (no panics reading fields/payload).
+    #[test]
+    fn accessors_safe_after_checked_parse(bytes in proptest::collection::vec(any::<u8>(), 20..96)) {
+        if let Ok(p) = Ipv4Packet::new_checked(bytes.as_slice()) {
+            let _ = (p.version(), p.header_len(), p.total_len(), p.ttl());
+            let _ = (p.src(), p.dst(), p.protocol(), p.ident());
+            let _ = p.payload();
+            let _ = p.verify_checksum();
+        }
+    }
+
+    /// SYN/ACK builder and parser are inverse for all field values, and
+    /// checksums always verify.
+    #[test]
+    fn syn_ack_roundtrip(
+        victim in arb_addr(),
+        spoofed in arb_addr(),
+        vport in any::<u16>(),
+        sport in any::<u16>(),
+        seq in any::<u32>(),
+    ) {
+        let pkt = builder::tcp_syn_ack(victim, vport, spoofed, sport, seq);
+        let ip = Ipv4Packet::new_checked(pkt.as_slice()).unwrap();
+        prop_assert!(ip.verify_checksum());
+        prop_assert_eq!(ip.src(), victim);
+        prop_assert_eq!(ip.dst(), spoofed);
+        prop_assert_eq!(ip.protocol(), IpProtocol::Tcp);
+        let seg = TcpSegment::new_checked(ip.payload()).unwrap();
+        prop_assert!(seg.verify_checksum(victim, spoofed));
+        prop_assert_eq!(seg.src_port(), vport);
+        prop_assert_eq!(seg.dst_port(), sport);
+        prop_assert_eq!(seg.seq(), seq);
+        prop_assert!(seg.flags().is_syn_ack());
+    }
+
+    /// The ICMP error quotation preserves the inner flood packet's
+    /// protocol and ports for all inputs.
+    #[test]
+    fn unreachable_quotation_roundtrip(
+        victim in arb_addr(),
+        spoofed in arb_addr(),
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        code in 0u8..16,
+    ) {
+        let pkt = builder::icmp_dest_unreachable(
+            victim, spoofed, IpProtocol::Udp, sport, dport, code,
+        );
+        let ip = Ipv4Packet::new_checked(pkt.as_slice()).unwrap();
+        let icmp = Icmpv4Packet::new_checked(ip.payload()).unwrap();
+        prop_assert!(icmp.verify_checksum());
+        prop_assert_eq!(icmp.code(), code);
+        let quoted = icmp.quoted_packet().unwrap();
+        prop_assert_eq!(quoted.protocol(), IpProtocol::Udp);
+        prop_assert_eq!(quoted.src(), spoofed);
+        prop_assert_eq!(quoted.dst(), victim);
+        let inner = UdpDatagram::new_checked(quoted.payload()).unwrap();
+        prop_assert_eq!(inner.src_port(), sport);
+        prop_assert_eq!(inner.dst_port(), dport);
+    }
+
+    /// Every reflection request classifies back to its protocol, from any
+    /// victim address and source port.
+    #[test]
+    fn reflection_request_roundtrip(
+        victim in arb_addr(),
+        pot in arb_addr(),
+        sport in any::<u16>(),
+        protocol in arb_protocol(),
+    ) {
+        let pkt = builder::reflection_request(victim, sport, pot, protocol);
+        let ip = Ipv4Packet::new_checked(pkt.as_slice()).unwrap();
+        prop_assert!(ip.verify_checksum());
+        let udp = UdpDatagram::new_checked(ip.payload()).unwrap();
+        prop_assert!(udp.verify_checksum(victim, pot));
+        prop_assert_eq!(udp.dst_port(), protocol.port());
+        prop_assert_eq!(reflect::classify_request(udp.dst_port(), udp.payload()), Some(protocol));
+    }
+
+    /// Bit flips in a built packet are caught by at least one checksum
+    /// (header or transport), unless they hit a "don't care" region —
+    /// which for our minimal packets doesn't exist.
+    #[test]
+    fn bit_flips_detected(
+        victim in arb_addr(),
+        spoofed in arb_addr(),
+        flip_byte in 0usize..40,
+        flip_bit in 0u8..8,
+    ) {
+        let mut pkt = builder::tcp_syn_ack(victim, 80, spoofed, 40_000, 1);
+        prop_assume!(flip_byte < pkt.len());
+        pkt[flip_byte] ^= 1 << flip_bit;
+        // Either the packet no longer parses, or a checksum fails.
+        let intact = match Ipv4Packet::new_checked(pkt.as_slice()) {
+            Err(_) => false,
+            Ok(ip) => {
+                ip.verify_checksum()
+                    && match TcpSegment::new_checked(ip.payload()) {
+                        Err(_) => false,
+                        Ok(seg) => seg.verify_checksum(ip.src(), ip.dst()),
+                    }
+            }
+        };
+        prop_assert!(!intact, "flip at byte {flip_byte} bit {flip_bit} undetected");
+    }
+}
