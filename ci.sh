@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# The full local CI gate: everything the repository promises, in order.
+#
+#   ./ci.sh            # build + lock check + tests + clippy
+#
+# All crates are path dependencies (the vendored stubs included), so the
+# whole script runs offline.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release --locked"
+cargo build --release --locked --workspace
+
+echo "==> cargo test -q"
+cargo test -q --workspace
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "ci.sh: all checks passed"

@@ -348,8 +348,10 @@ mod tests {
     #[test]
     fn duration_cap_splits_events() {
         let mut f = fleet();
-        let mut cfg = FleetConfig::default();
-        cfg.min_requests = 10;
+        let cfg = FleetConfig {
+            min_requests: 10,
+            ..FleetConfig::default()
+        };
         let mut f2 = AmpPotFleet::new(std::mem::take(&mut f.honeypots), cfg);
         // One request every 30 minutes for 30 hours: never idle-gapped,
         // but the 24 h cap must split it.

@@ -103,10 +103,9 @@ impl RateLimiter {
 /// and volunteer hosting, each on its own /24.
 pub fn standard_fleet() -> Vec<Honeypot> {
     let mut pots = Vec::with_capacity(24);
-    let regions: Vec<Region> = std::iter::repeat(Region::America)
-        .take(11)
-        .chain(std::iter::repeat(Region::Europe).take(8))
-        .chain(std::iter::repeat(Region::Asia).take(4))
+    let regions: Vec<Region> = std::iter::repeat_n(Region::America, 11)
+        .chain(std::iter::repeat_n(Region::Europe, 8))
+        .chain(std::iter::repeat_n(Region::Asia, 4))
         .chain(std::iter::once(Region::Australia))
         .collect();
     for (i, region) in regions.into_iter().enumerate() {

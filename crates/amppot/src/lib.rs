@@ -27,7 +27,9 @@
 pub mod event;
 pub mod fleet;
 pub mod honeypot;
+pub mod sharded;
 
 pub use event::RequestBatch;
 pub use fleet::{AmpPotFleet, FleetConfig, FleetStats};
 pub use honeypot::{Honeypot, HoneypotId, Region};
+pub use sharded::{partition_requests, ShardedFleet};

@@ -1,0 +1,238 @@
+//! Sharded parallel variant of the honeypot-fleet event inference.
+//!
+//! Request batches are partitioned by the *victim's* /16 shard (the
+//! spoofed source of an abuse request IS the victim) and each shard runs
+//! an independent [`AmpPotFleet`] on its own thread. Every piece of fleet
+//! state is victim-local — open events are keyed by (victim, protocol,
+//! honeypot), the reply rate limiter counts per (victim, minute), and the
+//! fleet merge groups per (victim, protocol) — so a shard sees every
+//! request of every event it owns, in order, and the merged result is
+//! byte-identical to a serial run. The final ordering is the serial
+//! fleet's own canonical `(start, target, protocol)` sort, and every
+//! [`FleetStats`] counter is a per-batch or per-event sum.
+
+use crate::event::RequestBatch;
+use crate::fleet::{AmpPotFleet, FleetStats};
+use dosscope_types::{shard_of, AttackEvent};
+use dosscope_wire::Ipv4Packet;
+
+/// The shard owning a raw request, by victim (= spoofed source) address.
+/// Unparseable batches go to shard 0, whose fleet counts them as
+/// malformed exactly as the serial fleet would.
+pub fn request_shard(bytes: &[u8], shards: usize) -> usize {
+    match Ipv4Packet::new_checked(bytes) {
+        Ok(ip) => shard_of(ip.src(), shards),
+        Err(_) => 0,
+    }
+}
+
+/// Split a time-ordered request stream into per-shard streams, preserving
+/// relative order within each shard.
+pub fn partition_requests(batches: Vec<RequestBatch>, shards: usize) -> Vec<Vec<RequestBatch>> {
+    let shards = shards.max(1);
+    let mut parts: Vec<Vec<RequestBatch>> = (0..shards).map(|_| Vec::new()).collect();
+    for b in batches {
+        let s = request_shard(&b.bytes, shards);
+        parts[s].push(b);
+    }
+    parts
+}
+
+/// The parallel fleet engine: N independent fleets over victim shards.
+///
+/// Each shard holds its own copy of the honeypot instances; that is
+/// faithful because the only per-honeypot state, the reply rate limiter,
+/// counts per (victim, minute) and a victim's requests all live in one
+/// shard.
+pub struct ShardedFleet {
+    shards: Vec<AmpPotFleet>,
+}
+
+impl ShardedFleet {
+    /// `shards` standard 24-instance fleets (0 is treated as 1).
+    pub fn standard(shards: usize) -> ShardedFleet {
+        ShardedFleet {
+            shards: (0..shards.max(1)).map(|_| AmpPotFleet::standard()).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Ingest one pre-partitioned chunk of the stream (one entry per
+    /// shard, as produced by [`partition_requests`]), one worker thread
+    /// per shard. Chunks must arrive in time order, like the serial
+    /// stream.
+    pub fn ingest_partitioned(&mut self, parts: &[Vec<RequestBatch>]) {
+        assert_eq!(
+            parts.len(),
+            self.shards.len(),
+            "partition count must match shard count"
+        );
+        if self.shards.len() == 1 {
+            for b in &parts[0] {
+                self.shards[0].ingest(b);
+            }
+            return;
+        }
+        std::thread::scope(|s| {
+            for (fleet, batches) in self.shards.iter_mut().zip(parts) {
+                s.spawn(move || {
+                    for b in batches {
+                        fleet.ingest(b);
+                    }
+                });
+            }
+        });
+    }
+
+    /// Partition and ingest one time-ordered chunk of the stream.
+    pub fn ingest(&mut self, batches: Vec<RequestBatch>) {
+        let parts = partition_requests(batches, self.shards.len());
+        self.ingest_partitioned(&parts);
+    }
+
+    /// End of trace: finish every shard (in parallel), merge events into
+    /// the canonical `(start, target, protocol)` order and sum the
+    /// statistics.
+    pub fn finish(self) -> (Vec<AttackEvent>, FleetStats) {
+        let parallel = self.shards.len() > 1;
+        let results: Vec<(Vec<AttackEvent>, FleetStats)> = if parallel {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = self
+                    .shards
+                    .into_iter()
+                    .map(|fleet| s.spawn(move || fleet.finish()))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("fleet shard worker panicked"))
+                    .collect()
+            })
+        } else {
+            self.shards.into_iter().map(|f| f.finish()).collect()
+        };
+
+        let mut events = Vec::new();
+        let mut stats = FleetStats::default();
+        for (ev, st) in results {
+            events.extend(ev);
+            stats.malformed += st.malformed;
+            stats.unrecognised += st.unrecognised;
+            stats.requests += st.requests;
+            stats.replies_sent += st.replies_sent;
+            stats.pot_events += st.pot_events;
+            stats.scan_filtered += st.scan_filtered;
+            stats.events += st.events;
+        }
+        events.sort_by_key(|e| (e.when.start, e.target, e.reflection_protocol()));
+        (events, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::honeypot::HoneypotId;
+    use dosscope_types::{ReflectionProtocol, SimTime};
+    use dosscope_wire::builder;
+    use std::net::Ipv4Addr;
+
+    /// Interleaved reflection floods from victims across many /16s, a
+    /// scanner, and a malformed batch.
+    fn mixed_stream() -> Vec<RequestBatch> {
+        let pots = crate::honeypot::standard_fleet();
+        let victims: Vec<Ipv4Addr> = (0..10u32)
+            .map(|i| Ipv4Addr::from(0xC0A8_0000u32.wrapping_add(i << 16) | 0x21))
+            .collect();
+        let protos = [
+            ReflectionProtocol::Ntp,
+            ReflectionProtocol::Dns,
+            ReflectionProtocol::CharGen,
+        ];
+        let mut batches = Vec::new();
+        for s in 0..900u64 {
+            for (vi, v) in victims.iter().enumerate() {
+                if (s + vi as u64).is_multiple_of(4) {
+                    let p = (vi + s as usize) % 3;
+                    let pot = (vi + s as usize) % pots.len();
+                    let pkt = builder::reflection_request(
+                        *v,
+                        40_000 + vi as u16,
+                        pots[pot].addr,
+                        protos[p],
+                    );
+                    batches.push(RequestBatch::repeated(
+                        HoneypotId(pot as u8),
+                        SimTime(s),
+                        2,
+                        pkt,
+                    ));
+                }
+            }
+        }
+        // A scanner probing each pot twice: stays under the scan filter.
+        let scanner: Ipv4Addr = "198.51.100.200".parse().unwrap();
+        for (i, pot) in pots.iter().enumerate() {
+            let pkt = builder::reflection_request(scanner, 3333, pot.addr, ReflectionProtocol::Ssdp);
+            batches.push(RequestBatch::repeated(
+                HoneypotId(i as u8),
+                SimTime(i as u64),
+                2,
+                pkt,
+            ));
+        }
+        batches.push(RequestBatch::repeated(HoneypotId(0), SimTime(5), 1, vec![0xC2; 9]));
+        batches.sort_by_key(|b| b.ts);
+        batches
+    }
+
+    #[test]
+    fn sharded_matches_serial() {
+        let mut serial = AmpPotFleet::standard();
+        for b in &mixed_stream() {
+            serial.ingest(b);
+        }
+        let (serial_events, serial_stats) = serial.finish();
+        assert!(!serial_events.is_empty());
+        for shards in [1, 2, 5, 8] {
+            let mut engine = ShardedFleet::standard(shards);
+            engine.ingest(mixed_stream());
+            let (events, stats) = engine.finish();
+            assert_eq!(events, serial_events, "{shards} shards: events differ");
+            assert_eq!(stats.malformed, serial_stats.malformed);
+            assert_eq!(stats.unrecognised, serial_stats.unrecognised);
+            assert_eq!(stats.requests, serial_stats.requests);
+            assert_eq!(stats.replies_sent, serial_stats.replies_sent);
+            assert_eq!(stats.scan_filtered, serial_stats.scan_filtered);
+            assert_eq!(stats.events, serial_stats.events);
+        }
+    }
+
+    #[test]
+    fn chunked_ingestion_matches_single_shot() {
+        let stream = mixed_stream();
+        let mut whole = ShardedFleet::standard(4);
+        whole.ingest(stream.clone());
+        let (a, _) = whole.finish();
+
+        let mut chunked = ShardedFleet::standard(4);
+        for chunk in stream.chunks(131) {
+            chunked.ingest(chunk.to_vec());
+        }
+        let (b, _) = chunked.finish();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn malformed_requests_go_to_shard_zero() {
+        assert_eq!(request_shard(&[0x01; 4], 6), 0);
+        let parts = partition_requests(
+            vec![RequestBatch::repeated(HoneypotId(0), SimTime(0), 1, vec![0x01; 4])],
+            6,
+        );
+        assert_eq!(parts[0].len(), 1);
+    }
+}

@@ -65,16 +65,47 @@ pub fn generate_commands(
     let n_botnets = (budget / 12).clamp(3, 700) as u32;
     let mut commands = Vec::new();
     let mut emitted = 0u64;
-    let family_weights: Vec<f64> = FAMILY_WEIGHTS.iter().map(|&(_, w)| w).collect();
 
+    // Allocate botnets to families by largest remainder rather than
+    // sampling, so the Wang et al. mix holds even for the 3-botnet fleets
+    // small scales produce (sampling would let a light family dominate a
+    // tiny fleet by chance).
+    let mut family_counts: Vec<u32> = FAMILY_WEIGHTS
+        .iter()
+        .map(|&(_, w)| (w * n_botnets as f64) as u32)
+        .collect();
+    let assigned: u32 = family_counts.iter().sum();
+    let mut remainders: Vec<(usize, f64)> = FAMILY_WEIGHTS
+        .iter()
+        .enumerate()
+        .map(|(i, &(_, w))| (i, (w * n_botnets as f64).fract()))
+        .collect();
+    remainders.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    for &(i, _) in remainders.iter().take((n_botnets - assigned) as usize) {
+        family_counts[i] += 1;
+    }
     let mut botnet_families = Vec::with_capacity(n_botnets as usize);
-    for _ in 0..n_botnets {
-        let fam = FAMILY_WEIGHTS[weighted_index(&mut rng, &family_weights)].0;
-        botnet_families.push(fam);
+    for (i, &(fam, _)) in FAMILY_WEIGHTS.iter().enumerate() {
+        botnet_families.extend(std::iter::repeat_n(fam, family_counts[i] as usize));
     }
 
+    // Each event picks a botnet in proportion to its family's share of
+    // the observed mix (heavyweight families launch more, not just own
+    // more botnets).
+    let botnet_weights: Vec<f64> = botnet_families
+        .iter()
+        .map(|f| {
+            let (i, _) = FAMILY_WEIGHTS
+                .iter()
+                .enumerate()
+                .find(|(_, (fam, _))| fam == f)
+                .expect("family in table");
+            FAMILY_WEIGHTS[i].1 / family_counts[i].max(1) as f64
+        })
+        .collect();
+
     while emitted < budget {
-        let b = rng.gen_range(0..n_botnets);
+        let b = weighted_index(&mut rng, &botnet_weights) as u32;
         let family = botnet_families[b as usize];
         // Mirai only exists from late 2016 (day ~540 on).
         let min_day = if family == BotFamily::Mirai {

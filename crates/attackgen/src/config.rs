@@ -318,6 +318,7 @@ impl Default for JointAsBias {
 }
 
 /// The full calibration bundle.
+#[derive(Default)]
 pub struct Calibration {
     /// Telescope-side distributions.
     pub telescope: TelescopeModel,
@@ -329,16 +330,6 @@ pub struct Calibration {
     pub joint_as: JointAsBias,
 }
 
-impl Default for Calibration {
-    fn default() -> Self {
-        Calibration {
-            telescope: TelescopeModel::default(),
-            honeypot: HoneypotModel::default(),
-            countries: CountryTargets::default(),
-            joint_as: JointAsBias::default(),
-        }
-    }
-}
 
 #[cfg(test)]
 mod tests {
@@ -413,13 +404,9 @@ mod tests {
         let t = TelescopeModel::default();
         let f = g.telescope_web_fraction;
         let expect = [0.794, 0.159, 0.045, 0.002];
-        for i in 0..4 {
+        for (i, want) in expect.into_iter().enumerate() {
             let mix = f * t.web_proto_weights[i] + (1.0 - f) * t.generic_proto_weights[i];
-            assert!(
-                (mix - expect[i]).abs() < 0.01,
-                "proto {i}: {mix} vs {}",
-                expect[i]
-            );
+            assert!((mix - want).abs() < 0.01, "proto {i}: {mix} vs {want}");
         }
     }
 }

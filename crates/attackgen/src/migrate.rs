@@ -117,7 +117,7 @@ impl DelayModel {
         long_attack: bool,
     ) -> u32 {
         if long_attack {
-            return (self.long4h.sample(rng).floor() as u32).max(0);
+            return self.long4h.sample(rng).floor() as u32;
         }
         // Urgency blends continuously with intensity: the probability of
         // following the fast profile rises piecewise-linearly through the
@@ -137,7 +137,7 @@ impl DelayModel {
             ],
         );
         let dist = if rng.gen_bool(w) { &self.top01 } else { &self.rest };
-        (dist.sample(rng).floor() as u32).max(0)
+        dist.sample(rng).floor() as u32
     }
 }
 

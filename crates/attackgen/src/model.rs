@@ -834,7 +834,7 @@ impl<'a> Generator<'a> {
             let slot_idx =
                 sprinkle_slots.swap_remove(self.rng.gen_range(0..sprinkle_slots.len()));
             let target = self.slots[slot_idx].ip;
-            let day = DayIndex((i * self.config.days / 10 + self.rng.gen_range(0..20))
+            let day = DayIndex((i * self.config.days / 10 + self.rng.gen_range(0..20u32))
                 .min(self.config.days - 1));
             let start = SimTime::from_day_offset(day, self.rng.gen_range(0..SECS_PER_DAY / 3));
             let q = self.rng.gen_range(0.90..0.99);

@@ -1,0 +1,95 @@
+//! Sharded-pipeline benchmarks: the component measurement pipelines
+//! (telescope detector, honeypot fleet) driven serially (1 shard) and in
+//! parallel (2 and 8 shards), over the same pre-rendered multi-day
+//! workload. The partitioned input is prepared outside the timing loop,
+//! so the numbers isolate the detection work itself.
+//!
+//! Results are byte-identical at every shard count (that is the pipeline's
+//! headline guarantee, see DESIGN.md "Concurrency model"); the point of
+//! this bench is wall-clock. On a multi-core machine the 8-shard runs
+//! beat 1 shard roughly linearly in usable cores; on a single-core
+//! container the shard counts tie, the workers merely interleave.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dosscope_amppot::{partition_requests, AmpPotFleet, RequestBatch, ShardedFleet};
+use dosscope_attackgen::Renderer;
+use dosscope_harness::{Scenario, ScenarioConfig};
+use dosscope_telescope::{partition_batches, PacketBatch, ShardedRsdos, Telescope};
+use dosscope_types::DayIndex;
+use std::sync::OnceLock;
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Several busy days of rendered observations from a mid-scale scenario:
+/// one shared workload for every shard count.
+fn workload() -> &'static (Vec<PacketBatch>, Vec<RequestBatch>) {
+    static WORKLOAD: OnceLock<(Vec<PacketBatch>, Vec<RequestBatch>)> = OnceLock::new();
+    WORKLOAD.get_or_init(|| {
+        // A heavier stream than the other benches: per-iteration work must
+        // dwarf the ~100 µs it costs to spawn and join 8 scoped workers.
+        let config = ScenarioConfig {
+            scale: 2_000.0,
+            ..ScenarioConfig::default()
+        };
+        let world = Scenario::run(&config);
+        let telescope = Telescope::default_slash8();
+        let pot_addrs: Vec<std::net::Ipv4Addr> = AmpPotFleet::standard()
+            .honeypots()
+            .iter()
+            .map(|h| h.addr)
+            .collect();
+        let renderer = Renderer::new(
+            &world.truth,
+            telescope,
+            pot_addrs,
+            config.seed ^ 0x8E4,
+            world.days,
+        );
+        let mut packets = Vec::new();
+        let mut requests = Vec::new();
+        for d in 10..70 {
+            packets.extend(renderer.telescope_day(DayIndex(d)));
+            requests.extend(renderer.honeypot_day(DayIndex(d)));
+        }
+        (packets, requests)
+    })
+}
+
+fn bench_sharded_telescope(c: &mut Criterion) {
+    let (packets, _) = workload();
+    let mut g = c.benchmark_group("parallel/telescope");
+    g.throughput(Throughput::Elements(packets.len() as u64));
+    g.sample_size(10);
+    for shards in SHARD_COUNTS {
+        let parts = partition_batches(packets.clone(), shards);
+        g.bench_function(&format!("shards={shards}"), |b| {
+            b.iter(|| {
+                let mut rsdos = ShardedRsdos::with_defaults(Telescope::default_slash8(), shards);
+                rsdos.ingest_partitioned(&parts);
+                rsdos.finish()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_sharded_honeypot(c: &mut Criterion) {
+    let (_, requests) = workload();
+    let mut g = c.benchmark_group("parallel/honeypot");
+    g.throughput(Throughput::Elements(requests.len() as u64));
+    g.sample_size(10);
+    for shards in SHARD_COUNTS {
+        let parts = partition_requests(requests.clone(), shards);
+        g.bench_function(&format!("shards={shards}"), |b| {
+            b.iter(|| {
+                let mut fleet = ShardedFleet::standard(shards);
+                fleet.ingest_partitioned(&parts);
+                fleet.finish()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(parallel, bench_sharded_telescope, bench_sharded_honeypot);
+criterion_main!(parallel);

@@ -23,6 +23,10 @@
 //!   two primary infrastructures;
 //! * [`streaming`] — the near-realtime fusion mode the paper's conclusion
 //!   calls for: incremental ingestion with always-current aggregates;
+//! * [`sharded`] — target-sharded variants of the store and the streaming
+//!   fusion whose per-shard accumulators merge into the exact serial
+//!   aggregates (the fusion end of the parallel pipeline; see DESIGN.md's
+//!   concurrency model);
 //! * [`report`] — typed table/figure structures with text rendering, one
 //!   per published table and figure.
 //!
@@ -39,6 +43,7 @@ pub mod enrich;
 pub mod mailimpact;
 pub mod migration;
 pub mod report;
+pub mod sharded;
 pub mod store;
 pub mod streaming;
 pub mod timeseries;
@@ -46,6 +51,7 @@ pub mod webimpact;
 
 pub use correlate::{JointAnalysis, JointStats};
 pub use enrich::{EnrichedEvent, Enricher};
+pub use sharded::{ShardedEventStore, ShardedFusion};
 pub use store::{EventStore, SourceSummary};
 
 use dosscope_dns::{OrgCatalog, ZoneStore};

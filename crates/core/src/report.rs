@@ -19,7 +19,7 @@ pub fn fmt_count(n: u64) -> String {
     let s = n.to_string();
     let mut out = String::new();
     for (i, c) in s.chars().enumerate() {
-        if i > 0 && (s.len() - i) % 3 == 0 {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
             out.push(',');
         }
         out.push(c);
@@ -194,11 +194,15 @@ pub struct Table4 {
     pub honeypot_full: Vec<(CountryCode, u64)>,
 }
 
+/// One rendered country panel: (name, targets, share) rows plus the raw
+/// per-country counts.
+type PanelRows = (Vec<(String, u64, f64)>, Vec<(CountryCode, u64)>);
+
 impl Table4 {
     /// Build from a framework (top-5 + Other, like the paper).
     pub fn build(fw: &Framework<'_>) -> Table4 {
         let enricher = Enricher::new(fw.geo, fw.asdb);
-        let panel = |events: &[AttackEvent]| -> (Vec<(String, u64, f64)>, Vec<(CountryCode, u64)>) {
+        let panel = |events: &[AttackEvent]| -> PanelRows {
             let mut targets: HashSet<std::net::Ipv4Addr> = HashSet::new();
             let mut counts: HashMap<CountryCode, u64> = HashMap::new();
             for e in events {

@@ -1,0 +1,377 @@
+//! Sharded variants of the fusion layer: [`ShardedEventStore`] and
+//! [`ShardedFusion`].
+//!
+//! Events are partitioned by the target's /16 shard ([`shard_of`]), the
+//! same key the parallel measurement pipelines use, so per-shard
+//! accumulators merge into exactly the serial aggregates:
+//!
+//! * events, targets, /24s and /16s are additive — a /16 (and every /24
+//!   inside it) lives wholly in one shard, so per-shard distinct counts
+//!   never overlap;
+//! * common and joint targets are target-local, hence additive too;
+//! * ASNs are **not** additive (an AS spans /16s): the per-shard ASN sets
+//!   are unioned;
+//! * `last_day` is the maximum over shards.
+
+use crate::store::{EventStore, SourceSummary};
+use crate::streaming::{StreamingFusion, StreamingSnapshot};
+use dosscope_types::{shard_of, AttackEvent, DayIndex, EventSource, TimeSeries};
+use std::collections::HashSet;
+
+fn partition_events(events: Vec<AttackEvent>, shards: usize) -> Vec<Vec<AttackEvent>> {
+    let mut parts: Vec<Vec<AttackEvent>> = (0..shards).map(|_| Vec::new()).collect();
+    for e in events {
+        let s = shard_of(e.target, shards);
+        parts[s].push(e);
+    }
+    parts
+}
+
+fn add_summaries(a: SourceSummary, b: SourceSummary) -> SourceSummary {
+    SourceSummary {
+        events: a.events + b.events,
+        targets: a.targets + b.targets,
+        blocks24: a.blocks24 + b.blocks24,
+        blocks16: a.blocks16 + b.blocks16,
+    }
+}
+
+/// An event store split into target shards; aggregates merge additively.
+#[derive(Debug)]
+pub struct ShardedEventStore {
+    shards: Vec<EventStore>,
+}
+
+impl ShardedEventStore {
+    /// A store with `shards` shards (0 is treated as 1).
+    pub fn new(shards: usize) -> ShardedEventStore {
+        ShardedEventStore {
+            shards: (0..shards.max(1)).map(|_| EventStore::new()).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Ingest telescope events: partition by target, then sort per shard
+    /// (in parallel for more than one shard).
+    pub fn ingest_telescope(&mut self, events: Vec<AttackEvent>) {
+        self.ingest_with(events, EventStore::ingest_telescope);
+    }
+
+    /// Ingest honeypot events, same scheme.
+    pub fn ingest_honeypot(&mut self, events: Vec<AttackEvent>) {
+        self.ingest_with(events, EventStore::ingest_honeypot);
+    }
+
+    fn ingest_with(&mut self, events: Vec<AttackEvent>, f: fn(&mut EventStore, Vec<AttackEvent>)) {
+        let parts = partition_events(events, self.shards.len());
+        if self.shards.len() == 1 {
+            let [part] = <[_; 1]>::try_from(parts).expect("one shard");
+            f(&mut self.shards[0], part);
+            return;
+        }
+        std::thread::scope(|s| {
+            for (store, part) in self.shards.iter_mut().zip(parts) {
+                s.spawn(move || f(store, part));
+            }
+        });
+    }
+
+    /// Total event count over all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(EventStore::len).sum()
+    }
+
+    /// True when nothing was ingested.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The Table 1 aggregate for one source, merged over shards.
+    pub fn summary(&self, source: EventSource) -> SourceSummary {
+        self.shards
+            .iter()
+            .map(|s| s.summary(source))
+            .fold(SourceSummary::default(), add_summaries)
+    }
+
+    /// The Table 1 aggregate for the combined data, merged over shards.
+    pub fn summary_combined(&self) -> SourceSummary {
+        self.shards
+            .iter()
+            .map(EventStore::summary_combined)
+            .fold(SourceSummary::default(), add_summaries)
+    }
+
+    /// Unique targets common to both sources (target-local, so the
+    /// per-shard intersections sum).
+    pub fn common_targets(&self) -> u64 {
+        self.shards.iter().map(EventStore::common_targets).sum()
+    }
+
+    /// Collapse into one [`EventStore`] holding every event in the serial
+    /// store's canonical order.
+    pub fn into_store(self) -> EventStore {
+        let mut tele = Vec::new();
+        let mut hp = Vec::new();
+        for shard in self.shards {
+            tele.extend(shard.telescope().to_vec());
+            hp.extend(shard.honeypot().to_vec());
+        }
+        let mut store = EventStore::new();
+        store.ingest_telescope(tele);
+        store.ingest_honeypot(hp);
+        store
+    }
+}
+
+/// A streaming fusion engine split into target shards; a
+/// [`ShardedFusion::snapshot`] merges the per-shard accumulators into the
+/// exact serial [`StreamingSnapshot`].
+pub struct ShardedFusion<'a> {
+    shards: Vec<StreamingFusion<'a>>,
+}
+
+impl<'a> ShardedFusion<'a> {
+    /// A fusion engine with `shards` shards (0 is treated as 1) over the
+    /// shared metadata databases.
+    pub fn new(
+        geo: &'a dosscope_geo::GeoDb,
+        asdb: &'a dosscope_geo::AsDb,
+        days: u32,
+        shards: usize,
+    ) -> ShardedFusion<'a> {
+        ShardedFusion {
+            shards: (0..shards.max(1))
+                .map(|_| StreamingFusion::new(geo, asdb, days))
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Route one event to its target's shard.
+    pub fn push(&mut self, event: &AttackEvent) {
+        let s = shard_of(event.target, self.shards.len());
+        self.shards[s].push(event);
+    }
+
+    /// Ingest a chunk of events, one worker thread per shard. Within a
+    /// shard the original order is preserved, which is what the live
+    /// joint correlation and pruning depend on.
+    pub fn push_all(&mut self, events: &[AttackEvent]) {
+        let n = self.shards.len();
+        if n == 1 {
+            for e in events {
+                self.shards[0].push(e);
+            }
+            return;
+        }
+        let mut parts: Vec<Vec<&AttackEvent>> = (0..n).map(|_| Vec::new()).collect();
+        for e in events {
+            parts[shard_of(e.target, n)].push(e);
+        }
+        std::thread::scope(|s| {
+            for (fusion, part) in self.shards.iter_mut().zip(parts) {
+                s.spawn(move || {
+                    for e in part {
+                        fusion.push(e);
+                    }
+                });
+            }
+        });
+    }
+
+    /// The current fused state, merged over shards.
+    pub fn snapshot(&self) -> StreamingSnapshot {
+        let mut asns: HashSet<u32> = HashSet::new();
+        let mut merged = StreamingSnapshot {
+            telescope: SourceSummary::default(),
+            honeypot: SourceSummary::default(),
+            combined_targets: 0,
+            combined_events: 0,
+            common_targets: 0,
+            joint_targets: 0,
+            asns: 0,
+            last_day: None,
+        };
+        for shard in &self.shards {
+            let snap = shard.snapshot();
+            merged.telescope = add_summaries(merged.telescope, snap.telescope);
+            merged.honeypot = add_summaries(merged.honeypot, snap.honeypot);
+            merged.combined_targets += snap.combined_targets;
+            merged.combined_events += snap.combined_events;
+            merged.common_targets += snap.common_targets;
+            merged.joint_targets += snap.joint_targets;
+            merged.last_day = match (merged.last_day, snap.last_day) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                (a, b) => a.or(b),
+            };
+            asns.extend(shard.combined_asn_set());
+        }
+        merged.asns = asns.len() as u64;
+        merged
+    }
+
+    /// Attacks per day, summed over shards.
+    pub fn daily_attacks(&self) -> TimeSeries {
+        let days = self
+            .shards
+            .first()
+            .map(|s| s.daily_attacks().days())
+            .unwrap_or(0);
+        let mut merged = TimeSeries::zeros(days);
+        for shard in &self.shards {
+            for (i, v) in shard.daily_attacks().values().iter().enumerate() {
+                merged.add(DayIndex(i as u32), *v);
+            }
+        }
+        merged
+    }
+
+    /// Unique targets on one day, summed over shards (targets are
+    /// shard-disjoint).
+    pub fn targets_on(&self, day: DayIndex) -> u64 {
+        self.shards.iter().map(|s| s.targets_on(day)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dosscope_geo::{AsDb, GeoDb};
+    use dosscope_types::{
+        AttackVector, PortSignature, ReflectionProtocol, SimTime, TimeRange, TransportProto,
+    };
+
+    fn tele(ip: &str, start: u64, end: u64) -> AttackEvent {
+        AttackEvent {
+            target: ip.parse().unwrap(),
+            when: TimeRange::new(SimTime(start), SimTime(end)),
+            vector: AttackVector::RandomlySpoofed {
+                proto: TransportProto::Tcp,
+                ports: PortSignature::Single(80),
+            },
+            packets: 100,
+            bytes: 4000,
+            intensity_pps: 1.0,
+            distinct_sources: 10,
+        }
+    }
+
+    fn hp(ip: &str, start: u64, end: u64) -> AttackEvent {
+        AttackEvent {
+            target: ip.parse().unwrap(),
+            when: TimeRange::new(SimTime(start), SimTime(end)),
+            vector: AttackVector::Reflection {
+                protocol: ReflectionProtocol::Ntp,
+            },
+            packets: 500,
+            bytes: 20_000,
+            intensity_pps: 10.0,
+            distinct_sources: 4,
+        }
+    }
+
+    /// Events spread over many /16s with overlaps across sources.
+    fn sample_events() -> (Vec<AttackEvent>, Vec<AttackEvent>) {
+        let mut t = Vec::new();
+        let mut h = Vec::new();
+        for i in 0..40u64 {
+            let ip = format!("10.{}.{}.7", i % 7, i % 5);
+            t.push(tele(&ip, i * 500, i * 500 + 400));
+            if i % 3 == 0 {
+                // Same target, overlapping window: a joint incident.
+                h.push(hp(&ip, i * 500 + 100, i * 500 + 300));
+            }
+            if i % 4 == 0 {
+                h.push(hp(&format!("172.{}.0.9", 16 + i % 8), i * 500, i * 500 + 200));
+            }
+        }
+        (t, h)
+    }
+
+    #[test]
+    fn sharded_store_matches_serial() {
+        let (t, h) = sample_events();
+        let mut serial = EventStore::new();
+        serial.ingest_telescope(t.clone());
+        serial.ingest_honeypot(h.clone());
+        for shards in [1, 2, 4, 8] {
+            let mut sharded = ShardedEventStore::new(shards);
+            sharded.ingest_telescope(t.clone());
+            sharded.ingest_honeypot(h.clone());
+            assert_eq!(sharded.len(), serial.len());
+            assert_eq!(
+                sharded.summary(EventSource::Telescope),
+                serial.summary(EventSource::Telescope)
+            );
+            assert_eq!(
+                sharded.summary(EventSource::Honeypot),
+                serial.summary(EventSource::Honeypot)
+            );
+            assert_eq!(sharded.summary_combined(), serial.summary_combined());
+            assert_eq!(sharded.common_targets(), serial.common_targets());
+            let merged = sharded.into_store();
+            assert_eq!(merged.telescope(), serial.telescope());
+            assert_eq!(merged.honeypot(), serial.honeypot());
+        }
+    }
+
+    #[test]
+    fn sharded_fusion_matches_serial() {
+        let (t, h) = sample_events();
+        let mut all: Vec<AttackEvent> = t.into_iter().chain(h).collect();
+        all.sort_by_key(|e| (e.when.start, e.target));
+        let geo = GeoDb::new();
+        let asdb = AsDb::new();
+        let mut serial = StreamingFusion::new(&geo, &asdb, 731);
+        for e in &all {
+            serial.push(e);
+        }
+        let expect = serial.snapshot();
+        for shards in [1, 2, 4, 8] {
+            let mut sharded = ShardedFusion::new(&geo, &asdb, 731, shards);
+            sharded.push_all(&all);
+            let snap = sharded.snapshot();
+            assert_eq!(snap.telescope, expect.telescope, "{shards} shards");
+            assert_eq!(snap.honeypot, expect.honeypot);
+            assert_eq!(snap.combined_targets, expect.combined_targets);
+            assert_eq!(snap.combined_events, expect.combined_events);
+            assert_eq!(snap.common_targets, expect.common_targets);
+            assert_eq!(snap.joint_targets, expect.joint_targets);
+            assert_eq!(snap.asns, expect.asns);
+            assert_eq!(snap.last_day, expect.last_day);
+            assert_eq!(
+                sharded.daily_attacks().values(),
+                serial.daily_attacks().values()
+            );
+            assert_eq!(sharded.targets_on(DayIndex(0)), serial.targets_on(DayIndex(0)));
+        }
+    }
+
+    #[test]
+    fn incremental_push_equals_bulk_push_all() {
+        let (t, h) = sample_events();
+        let mut all: Vec<AttackEvent> = t.into_iter().chain(h).collect();
+        all.sort_by_key(|e| (e.when.start, e.target));
+        let geo = GeoDb::new();
+        let asdb = AsDb::new();
+        let mut one = ShardedFusion::new(&geo, &asdb, 731, 4);
+        let mut other = ShardedFusion::new(&geo, &asdb, 731, 4);
+        one.push_all(&all);
+        for e in &all {
+            other.push(e);
+        }
+        let (a, b) = (one.snapshot(), other.snapshot());
+        assert_eq!(a.combined_events, b.combined_events);
+        assert_eq!(a.joint_targets, b.joint_targets);
+        assert_eq!(a.common_targets, b.common_targets);
+    }
+}

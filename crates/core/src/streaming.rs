@@ -108,11 +108,7 @@ impl<'a> StreamingFusion<'a> {
     /// Ingest one event as it is emitted by either detector.
     pub fn push(&mut self, event: &AttackEvent) {
         let source = event.source();
-        let (cc, asn) = {
-            let (_, asn) = self.enricher.lookup(event.target);
-            ((), asn)
-        };
-        let _ = cc;
+        let (_, asn) = self.enricher.lookup(event.target);
 
         // Live joint correlation first: does this event overlap any open
         // window of the *other* source on the same target?
@@ -157,7 +153,7 @@ impl<'a> StreamingFusion<'a> {
         // Periodic pruning of stale windows keeps memory proportional to
         // the active attack population, not to history.
         self.newest_start = self.newest_start.max(event.when.start.secs());
-        if self.tele.events.wrapping_add(self.hp.events) % 1024 == 0 {
+        if self.tele.events.wrapping_add(self.hp.events).is_multiple_of(1024) {
             self.prune();
         }
     }
@@ -194,6 +190,14 @@ impl<'a> StreamingFusion<'a> {
     /// Attacks per day ingested so far.
     pub fn daily_attacks(&self) -> &TimeSeries {
         &self.daily_attacks
+    }
+
+    /// The distinct targeted ASNs so far (both sources). Crate-visible so
+    /// the sharded merge ([`crate::sharded::ShardedFusion`]) can union the
+    /// sets: an AS spans /16s and therefore shards, so per-shard counts
+    /// must not simply be summed.
+    pub(crate) fn combined_asn_set(&self) -> &HashSet<u32> {
+        &self.combined_asns
     }
 
     /// Unique targets on one day so far.

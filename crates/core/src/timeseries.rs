@@ -135,7 +135,7 @@ mod tests {
     fn daily_aggregates() {
         let (geo, asdb) = dbs();
         let enricher = Enricher::new(&geo, &asdb);
-        let events = vec![
+        let events = [
             event("10.1.0.1", 0, 1.0),
             event("10.1.0.1", 0, 2.0), // same target, same day
             event("10.2.0.2", 0, 3.0),
@@ -153,7 +153,7 @@ mod tests {
     fn medium_intensity_filter() {
         let (geo, asdb) = dbs();
         let enricher = Enricher::new(&geo, &asdb);
-        let events = vec![
+        let events = [
             event("10.1.0.1", 0, 1.0),
             event("10.1.0.2", 0, 2.0),
             event("10.1.0.3", 0, 9.0),
@@ -175,7 +175,7 @@ mod tests {
     fn out_of_window_events_ignored() {
         let (geo, asdb) = dbs();
         let enricher = Enricher::new(&geo, &asdb);
-        let events = vec![event("10.1.0.1", 10, 1.0)];
+        let events = [event("10.1.0.1", 10, 1.0)];
         let s = DailySeries::build(events.iter(), &enricher, 3, |_| true);
         assert_eq!(s.attacks.total(), 0.0);
     }

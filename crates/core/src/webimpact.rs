@@ -164,8 +164,8 @@ impl WebImpact {
 
             // Figure 6: each target IP contributes once, with its site
             // count at the time of its first observed attack.
-            if !first_seen_ip.contains_key(&e.target) {
-                first_seen_ip.insert(e.target, sites.len());
+            if let std::collections::hash_map::Entry::Vacant(slot) = first_seen_ip.entry(e.target) {
+                slot.insert(sites.len());
                 cohosting.push(sites.len() as u64);
                 for (tld, hist) in cohosting_by_tld.iter_mut() {
                     let n = sites.iter().filter(|d| zone.tld_of(**d) == *tld).count();

@@ -211,7 +211,7 @@ impl Allocator {
         let size = 1u64 << (32 - len as u32);
         loop {
             // Align up.
-            let aligned = ((self.next as u64 + size - 1) / size) * size;
+            let aligned = (self.next as u64).div_ceil(size) * size;
             assert!(aligned + size <= u32::MAX as u64 + 1, "address space exhausted");
             let candidate = Ipv4Cidr::new(Ipv4Addr::from(aligned as u32), len);
             if let Some(r) = Self::reserved(aligned as u32) {
@@ -267,7 +267,7 @@ impl AsRegistry {
                     .map(|_| {
                         // Mix of sizes; /16 dominates, some /15 and /17-/19.
                         let len = *[15u8, 16, 16, 16, 17, 18, 19]
-                            .get(rng.gen_range(0..7))
+                            .get(rng.gen_range(0..7usize))
                             .expect("static table");
                         alloc.alloc(len)
                     })

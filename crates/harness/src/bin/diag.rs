@@ -1,12 +1,40 @@
 //! Internal diagnostic: slot-tier hit coverage (not part of the public
 //! reproduction surface; used to calibrate the generator).
+//!
+//! Usage: `diag [--threads N]` — worker count for the measurement
+//! pipelines; the diagnostic output is identical for any value.
 
 use dosscope_harness::{Scenario, ScenarioConfig};
 use dosscope_dns::OrgRole;
 use std::collections::HashMap;
 
+fn parse_args() -> ScenarioConfig {
+    let mut config = ScenarioConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => {
+                config.threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("--threads needs a numeric value"))
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: diag [--threads N]");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    config.threads = config.threads.max(1);
+    config
+}
+
 fn main() {
-    let config = ScenarioConfig::default();
+    let config = parse_args();
     let world = Scenario::run(&config);
     let mut hits: HashMap<std::net::Ipv4Addr, u32> = HashMap::new();
     for e in world.store.telescope().iter().chain(world.store.honeypot()) {

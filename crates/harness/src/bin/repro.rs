@@ -2,7 +2,10 @@
 //! scale, prints every table and figure, and the paper-vs-measured
 //! comparison.
 //!
-//! Usage: `repro [--scale N] [--seed N] [--days N]`
+//! Usage: `repro [--scale N] [--seed N] [--days N] [--threads N]`
+//!
+//! `--threads` selects the measurement worker count; results are
+//! byte-identical for any value (the pipelines shard by target /16).
 
 use dosscope_harness::experiments::Experiments;
 use dosscope_harness::{Scenario, ScenarioConfig};
@@ -20,8 +23,9 @@ fn parse_args() -> ScenarioConfig {
             "--scale" => config.scale = take("--scale"),
             "--seed" => config.seed = take("--seed") as u64,
             "--days" => config.days = take("--days") as u32,
+            "--threads" => config.threads = (take("--threads") as usize).max(1),
             "--help" | "-h" => {
-                eprintln!("usage: repro [--scale N] [--seed N] [--days N]");
+                eprintln!("usage: repro [--scale N] [--seed N] [--days N] [--threads N]");
                 std::process::exit(0);
             }
             other => {
@@ -36,8 +40,8 @@ fn parse_args() -> ScenarioConfig {
 fn main() {
     let config = parse_args();
     eprintln!(
-        "running scenario: scale 1/{}, {} days, seed {:#x} ...",
-        config.scale, config.days, config.seed
+        "running scenario: scale 1/{}, {} days, seed {:#x}, {} thread(s) ...",
+        config.scale, config.days, config.seed, config.threads
     );
     let t0 = std::time::Instant::now();
     let world = Scenario::run(&config);

@@ -6,14 +6,16 @@
 //! the main thread feeds day `d` into the detectors — the same
 //! overlap a real capture/processing deployment has.
 
-use dosscope_amppot::{AmpPotFleet, RequestBatch};
+use dosscope_amppot::{AmpPotFleet, RequestBatch, ShardedFleet};
 use dosscope_attackgen::config::Calibration;
 use dosscope_attackgen::{GenConfig, Generator, GroundTruth, MigrationModel, Renderer};
 use dosscope_core::{EventStore, Framework};
 use dosscope_dns::synth::{synthesize, SynthConfig, SynthOutput};
 use dosscope_dps::DpsDataset;
 use dosscope_geo::{AsDb, AsRegistry, GeoDb, RegistryConfig};
-use dosscope_telescope::{PacketBatch, RsdosDetector, RsdosPlugin, Telescope, TelescopePlugin};
+use dosscope_telescope::{
+    PacketBatch, RsdosDetector, RsdosPlugin, ShardedRsdos, Telescope, TelescopePlugin,
+};
 use dosscope_types::DayIndex;
 
 /// Scenario parameters. `scale` divides every paper-scale quantity; the
@@ -27,6 +29,11 @@ pub struct ScenarioConfig {
     pub scale: f64,
     /// Window length in days (731).
     pub days: u32,
+    /// Measurement worker threads. 1 runs the original serial pipeline;
+    /// larger values shard the detectors by the target's /16 with one
+    /// worker per shard. The output is byte-identical either way (see
+    /// DESIGN.md, "Concurrency model").
+    pub threads: usize,
 }
 
 impl Default for ScenarioConfig {
@@ -35,6 +42,7 @@ impl Default for ScenarioConfig {
             seed: 0xD05C09E,
             scale: 2_000.0,
             days: 731,
+            threads: 1,
         }
     }
 }
@@ -144,7 +152,7 @@ impl Scenario {
         let renderer = Renderer::new(&truth, telescope, pot_addrs, config.seed ^ 0x8E4, config.days);
 
         let (store, telescope_stats, fleet_stats) =
-            drive_pipelines(&renderer, telescope, fleet, config.days);
+            drive_pipelines(&renderer, telescope, fleet, config.days, config.threads);
 
         // The third data source: botnet C&C monitoring (Section 8
         // extension). Commands are generated from the same ground truth
@@ -181,17 +189,24 @@ impl Scenario {
 }
 
 /// Render days on a producer thread while the consumer feeds the
-/// detectors: a bounded two-stage pipeline.
+/// detectors: a bounded two-stage pipeline. With `threads > 1` the
+/// consumer side fans out over target shards ([`drive_pipelines_sharded`]);
+/// the serial path below is kept verbatim so `threads = 1` is exactly the
+/// original pipeline.
 fn drive_pipelines(
     renderer: &Renderer<'_>,
     telescope: Telescope,
     mut fleet: AmpPotFleet,
     days: u32,
+    threads: usize,
 ) -> (
     EventStore,
     dosscope_telescope::detector::DetectorStats,
     dosscope_amppot::FleetStats,
 ) {
+    if threads > 1 {
+        return drive_pipelines_sharded(renderer, telescope, days, threads);
+    }
     let detector = RsdosDetector::with_defaults(telescope);
     let mut plugin = RsdosPlugin::new(detector);
     let (tx, rx) = crossbeam::channel::bounded::<(Vec<PacketBatch>, Vec<RequestBatch>)>(4);
@@ -238,6 +253,53 @@ fn drive_pipelines(
     (store, tele_stats, fleet_stats)
 }
 
+/// The parallel consumer: the producer thread renders *and partitions*
+/// each day by the victim's /16 shard, then the sharded engines process
+/// the per-shard streams with one worker per shard. Victim-keyed detector
+/// state makes the merged output byte-identical to the serial path for
+/// any shard count (DESIGN.md, "Concurrency model").
+fn drive_pipelines_sharded(
+    renderer: &Renderer<'_>,
+    telescope: Telescope,
+    days: u32,
+    threads: usize,
+) -> (
+    EventStore,
+    dosscope_telescope::detector::DetectorStats,
+    dosscope_amppot::FleetStats,
+) {
+    let mut rsdos = ShardedRsdos::with_defaults(telescope, threads);
+    let mut fleet = ShardedFleet::standard(threads);
+    type DayParts = (Vec<Vec<PacketBatch>>, Vec<Vec<RequestBatch>>);
+    let (tx, rx) = crossbeam::channel::bounded::<DayParts>(4);
+
+    crossbeam::scope(|s| {
+        s.spawn(move |_| {
+            for d in 0..days {
+                let day = DayIndex(d);
+                let t = dosscope_telescope::partition_batches(renderer.telescope_day(day), threads);
+                let h = dosscope_amppot::partition_requests(renderer.honeypot_day(day), threads);
+                if tx.send((t, h)).is_err() {
+                    return;
+                }
+            }
+        });
+        for (tele_parts, hp_parts) in rx.iter() {
+            rsdos.ingest_partitioned(&tele_parts);
+            fleet.ingest_partitioned(&hp_parts);
+        }
+    })
+    .expect("pipeline threads never panic");
+
+    let (tele_events, tele_stats) = rsdos.finish();
+    let (hp_events, fleet_stats) = fleet.finish();
+
+    let mut store = EventStore::new();
+    store.ingest_telescope(tele_events);
+    store.ingest_honeypot(hp_events);
+    (store, tele_stats, fleet_stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,6 +321,25 @@ mod tests {
         let fw = world.framework();
         let t1 = dosscope_core::report::Table1::build(&fw);
         assert!(t1.rows[2].summary.events >= t1.rows[0].summary.events);
+    }
+
+    #[test]
+    fn threads_do_not_change_results() {
+        let base = ScenarioConfig {
+            scale: 100_000.0,
+            ..ScenarioConfig::default()
+        };
+        let serial = Scenario::run(&base);
+        let parallel = Scenario::run(&ScenarioConfig { threads: 4, ..base });
+        assert_eq!(serial.store.telescope(), parallel.store.telescope());
+        assert_eq!(serial.store.honeypot(), parallel.store.honeypot());
+        assert_eq!(
+            serial.telescope_stats.backscatter_packets,
+            parallel.telescope_stats.backscatter_packets
+        );
+        assert_eq!(serial.telescope_stats.events, parallel.telescope_stats.events);
+        assert_eq!(serial.fleet_stats.requests, parallel.fleet_stats.requests);
+        assert_eq!(serial.fleet_stats.replies_sent, parallel.fleet_stats.replies_sent);
     }
 
     #[test]

@@ -416,4 +416,82 @@ mod tests {
         assert!(events[0].duration_secs() >= SECS_PER_MINUTE);
         assert!(events[0].packets >= 25);
     }
+
+    /// Feed `n` packets at one per second from t=0, then finish.
+    fn events_for_n_packets(config: DetectorConfig, n: u64) -> Vec<AttackEvent> {
+        let mut d = RsdosDetector::new(Telescope::default_slash8(), config);
+        for s in 0..n {
+            let pkt = builder::tcp_syn_ack(victim(), 80, dark(1), 40000, s as u32);
+            d.ingest(&PacketBatch::single(SimTime(s), pkt));
+        }
+        d.finish().0
+    }
+
+    #[test]
+    fn packet_threshold_edge() {
+        // With the default thresholds 25 packets can never reach the
+        // 0.5 pps minimum (25/60 < 0.5), so isolate the packet filter by
+        // relaxing the rate. 25 one-per-second packets last 24 s, so relax
+        // the duration too: exactly 25 passes, 24 is filtered.
+        let config = DetectorConfig {
+            min_duration_secs: 0,
+            min_max_pps: 0.0,
+            ..DetectorConfig::default()
+        };
+        assert_eq!(events_for_n_packets(config, 25).len(), 1, "25 >= 25");
+        assert!(events_for_n_packets(config, 24).is_empty(), "24 < 25");
+    }
+
+    #[test]
+    fn duration_threshold_edge() {
+        // 30 packets at t=0 satisfy count and rate; the final single
+        // packet sets the duration to exactly 60 s (pass) or 59 s (fail).
+        for (last, expect) in [(60u64, 1usize), (59, 0)] {
+            let mut d = detector();
+            let pkt = builder::tcp_syn_ack(victim(), 80, dark(1), 40000, 0);
+            d.ingest(&PacketBatch::repeated(SimTime(0), 30, pkt.clone()));
+            d.ingest(&PacketBatch::single(SimTime(last), pkt));
+            let (events, stats) = d.finish();
+            assert_eq!(events.len(), expect, "duration {last} s");
+            assert_eq!(stats.flows_filtered, 1 - expect as u64);
+            if let [e] = events.as_slice() {
+                assert_eq!(e.duration_secs(), SECS_PER_MINUTE);
+            }
+        }
+    }
+
+    #[test]
+    fn max_pps_threshold_edge() {
+        // Two minutes of traffic, duration 90 s. A 30-packet peak minute
+        // is exactly 0.5 pps (pass); a 29-packet peak is just under
+        // (fail), even though the flow totals 58 packets over 90 s.
+        for (peak, expect) in [(30u32, 1usize), (29, 0)] {
+            let mut d = detector();
+            let pkt = builder::tcp_syn_ack(victim(), 80, dark(1), 40000, 0);
+            d.ingest(&PacketBatch::repeated(SimTime(0), peak, pkt.clone()));
+            d.ingest(&PacketBatch::repeated(SimTime(90), peak - 1, pkt));
+            let (events, stats) = d.finish();
+            assert_eq!(events.len(), expect, "peak minute {peak} packets");
+            assert_eq!(stats.flows_filtered, 1 - expect as u64);
+            if let [e] = events.as_slice() {
+                assert!((e.intensity_pps - 0.5).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn flow_timeout_boundary() {
+        // The timeout splits a flow only when the gap *exceeds*
+        // `flow_timeout_secs`: a second burst exactly 300 s after the last
+        // packet continues the flow, 301 s starts a new one.
+        for (gap, expect) in [(300u64, 1usize), (301, 2)] {
+            let mut d = detector();
+            feed_syn_flood(&mut d, 0, 90, 1, 80); // last packet at t=89
+            feed_syn_flood(&mut d, 89 + gap, 90, 1, 80);
+            let (events, stats) = d.finish();
+            assert_eq!(events.len(), expect, "gap of {gap} s");
+            assert_eq!(stats.flows_finalized, expect as u64);
+            assert_eq!(stats.flows_filtered, 0);
+        }
+    }
 }

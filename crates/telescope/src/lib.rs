@@ -46,11 +46,13 @@ pub mod detector;
 pub mod flow;
 pub mod packet;
 pub mod plugin;
+pub mod sharded;
 
 pub use classify::{classify, Backscatter};
 pub use detector::{DetectorConfig, RsdosDetector};
 pub use packet::PacketBatch;
 pub use plugin::{drive_plugin, run_rsdos, Corsaro, RsdosPlugin, StatsPlugin, TelescopePlugin};
+pub use sharded::{partition_batches, ShardedRsdos};
 
 use dosscope_types::Ipv4Cidr;
 use std::net::Ipv4Addr;

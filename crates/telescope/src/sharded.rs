@@ -1,0 +1,260 @@
+//! Sharded parallel variant of the RSDoS pipeline.
+//!
+//! Batches are partitioned by the *victim's* /16 shard (backscatter is
+//! sent by the victim, so the victim is the packet source) and each shard
+//! runs an independent [`RsdosPlugin`] on its own thread. The flow table,
+//! the classifier and the filter are all victim-local state, so a shard
+//! sees every packet of every flow it owns, in the original order — the
+//! merged result is byte-identical to a serial run:
+//!
+//! * flow splits happen on per-flow idle gaps (in `offer`) regardless of
+//!   when `interval_end` fires, so per-shard interval cadence cannot
+//!   change event content;
+//! * the final ordering is the canonical `(start, target)` sort the serial
+//!   detector already produces;
+//! * every [`DetectorStats`] counter is a per-batch or per-flow sum.
+
+use crate::detector::{DetectorConfig, DetectorStats, RsdosDetector};
+use crate::packet::PacketBatch;
+use crate::plugin::{RsdosPlugin, TelescopePlugin};
+use crate::Telescope;
+use dosscope_types::{shard_of, AttackEvent, SimTime};
+use dosscope_wire::Ipv4Packet;
+
+/// The shard owning a raw packet, by victim (= source) address. Batches
+/// that fail IPv4 parsing go to shard 0, whose detector counts them as
+/// malformed exactly as the serial detector would.
+pub fn victim_shard(bytes: &[u8], shards: usize) -> usize {
+    match Ipv4Packet::new_checked(bytes) {
+        Ok(ip) => shard_of(ip.src(), shards),
+        Err(_) => 0,
+    }
+}
+
+/// Split a time-ordered batch stream into per-shard streams. Relative
+/// order within each shard is preserved, which is all the per-victim flow
+/// logic needs.
+pub fn partition_batches(batches: Vec<PacketBatch>, shards: usize) -> Vec<Vec<PacketBatch>> {
+    let shards = shards.max(1);
+    let mut parts: Vec<Vec<PacketBatch>> = (0..shards).map(|_| Vec::new()).collect();
+    for b in batches {
+        let s = victim_shard(&b.bytes, shards);
+        parts[s].push(b);
+    }
+    parts
+}
+
+/// One shard: a detector plugin plus its own interval tracker (interval
+/// boundaries are derived from the shard's batch stream, mirroring what a
+/// per-shard Corsaro driver would do).
+struct ShardLane {
+    plugin: RsdosPlugin,
+    current_interval: Option<u64>,
+}
+
+fn drive_lane(lane: &mut ShardLane, batches: &[PacketBatch], interval_secs: u64) {
+    for b in batches {
+        let interval = b.ts.secs() / interval_secs;
+        match lane.current_interval {
+            None => lane.current_interval = Some(interval),
+            Some(cur) if interval > cur => {
+                lane.plugin.interval_end(SimTime(interval * interval_secs));
+                lane.current_interval = Some(interval);
+            }
+            _ => {}
+        }
+        lane.plugin.process_batch(b);
+    }
+}
+
+/// The parallel RSDoS engine: N independent detectors over victim shards.
+pub struct ShardedRsdos {
+    lanes: Vec<ShardLane>,
+    interval_secs: u64,
+}
+
+impl ShardedRsdos {
+    /// An engine with `shards` detector shards (0 is treated as 1), all
+    /// observing the same darknet with the same thresholds.
+    pub fn new(
+        telescope: Telescope,
+        config: DetectorConfig,
+        interval_secs: u64,
+        shards: usize,
+    ) -> ShardedRsdos {
+        let shards = shards.max(1);
+        ShardedRsdos {
+            lanes: (0..shards)
+                .map(|_| ShardLane {
+                    plugin: RsdosPlugin::new(RsdosDetector::new(telescope, config)),
+                    current_interval: None,
+                })
+                .collect(),
+            interval_secs: interval_secs.max(1),
+        }
+    }
+
+    /// An engine with the published default thresholds and a 60 s interval.
+    pub fn with_defaults(telescope: Telescope, shards: usize) -> ShardedRsdos {
+        ShardedRsdos::new(telescope, DetectorConfig::default(), 60, shards)
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Ingest one pre-partitioned chunk of the stream (one entry per
+    /// shard, as produced by [`partition_batches`]), one worker thread per
+    /// shard. Chunks must arrive in time order, like the serial stream.
+    pub fn ingest_partitioned(&mut self, parts: &[Vec<PacketBatch>]) {
+        assert_eq!(
+            parts.len(),
+            self.lanes.len(),
+            "partition count must match shard count"
+        );
+        let interval_secs = self.interval_secs;
+        if self.lanes.len() == 1 {
+            drive_lane(&mut self.lanes[0], &parts[0], interval_secs);
+            return;
+        }
+        std::thread::scope(|s| {
+            for (lane, batches) in self.lanes.iter_mut().zip(parts) {
+                s.spawn(move || drive_lane(lane, batches, interval_secs));
+            }
+        });
+    }
+
+    /// Partition and ingest one time-ordered chunk of the stream.
+    pub fn ingest(&mut self, batches: Vec<PacketBatch>) {
+        let parts = partition_batches(batches, self.lanes.len());
+        self.ingest_partitioned(&parts);
+    }
+
+    /// End of trace: finish every shard (in parallel), merge events into
+    /// the canonical `(start, target)` order and sum the statistics.
+    pub fn finish(self) -> (Vec<AttackEvent>, DetectorStats) {
+        let parallel = self.lanes.len() > 1;
+        let results: Vec<(Vec<AttackEvent>, DetectorStats)> = if parallel {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = self
+                    .lanes
+                    .into_iter()
+                    .map(|mut lane| {
+                        s.spawn(move || {
+                            lane.plugin.finish();
+                            lane.plugin.into_results()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("telescope shard worker panicked"))
+                    .collect()
+            })
+        } else {
+            self.lanes
+                .into_iter()
+                .map(|mut lane| {
+                    lane.plugin.finish();
+                    lane.plugin.into_results()
+                })
+                .collect()
+        };
+
+        let mut events = Vec::new();
+        let mut stats = DetectorStats::default();
+        for (ev, st) in results {
+            events.extend(ev);
+            stats.malformed += st.malformed;
+            stats.non_backscatter += st.non_backscatter;
+            stats.backscatter_packets += st.backscatter_packets;
+            stats.flows_finalized += st.flows_finalized;
+            stats.flows_filtered += st.flows_filtered;
+            stats.events += st.events;
+        }
+        events.sort_by_key(|e| (e.when.start, e.target));
+        (events, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plugin::run_rsdos;
+    use dosscope_wire::builder;
+    use std::net::Ipv4Addr;
+
+    /// Interleaved backscatter from victims spread across many /16s, plus
+    /// sub-threshold noise and a malformed batch.
+    fn mixed_stream() -> Vec<PacketBatch> {
+        let victims: Vec<Ipv4Addr> = (0..12u32)
+            .map(|i| Ipv4Addr::from(0xCB00_0000 | (i << 16) | 0x50))
+            .collect();
+        let mut batches = Vec::new();
+        for s in 0..600u64 {
+            for (vi, v) in victims.iter().enumerate() {
+                if (s + vi as u64).is_multiple_of(3) {
+                    let spoofed = Ipv4Addr::new(44, (s % 250) as u8, vi as u8, 7);
+                    let pkt = builder::tcp_syn_ack(*v, 80, spoofed, 40_000, s as u32);
+                    batches.push(PacketBatch::repeated(SimTime(s), 2, pkt));
+                }
+            }
+        }
+        // A victim that never clears the packet threshold.
+        let weak: Ipv4Addr = "198.51.100.9".parse().unwrap();
+        for s in 0..5u64 {
+            let pkt = builder::tcp_syn_ack(weak, 443, Ipv4Addr::new(44, 9, 9, 9), 1, s as u32);
+            batches.push(PacketBatch::single(SimTime(s * 120), pkt));
+        }
+        batches.push(PacketBatch::repeated(SimTime(10), 1, vec![0xEE; 7]));
+        batches.sort_by_key(|b| b.ts);
+        batches
+    }
+
+    #[test]
+    fn sharded_matches_serial() {
+        let telescope = Telescope::default_slash8();
+        let (serial_events, serial_stats) =
+            run_rsdos(RsdosDetector::with_defaults(telescope), mixed_stream(), 60);
+        assert!(!serial_events.is_empty());
+        for shards in [1, 2, 3, 8] {
+            let mut engine = ShardedRsdos::with_defaults(telescope, shards);
+            engine.ingest(mixed_stream());
+            let (events, stats) = engine.finish();
+            assert_eq!(events, serial_events, "{shards} shards: events differ");
+            assert_eq!(stats.malformed, serial_stats.malformed);
+            assert_eq!(stats.non_backscatter, serial_stats.non_backscatter);
+            assert_eq!(stats.backscatter_packets, serial_stats.backscatter_packets);
+            assert_eq!(stats.flows_filtered, serial_stats.flows_filtered);
+            assert_eq!(stats.events, serial_stats.events);
+        }
+    }
+
+    #[test]
+    fn chunked_ingestion_matches_single_shot() {
+        let telescope = Telescope::default_slash8();
+        let stream = mixed_stream();
+        let mut whole = ShardedRsdos::with_defaults(telescope, 4);
+        whole.ingest(stream.clone());
+        let (a, _) = whole.finish();
+
+        let mut chunked = ShardedRsdos::with_defaults(telescope, 4);
+        for chunk in stream.chunks(97) {
+            chunked.ingest(chunk.to_vec());
+        }
+        let (b, _) = chunked.finish();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn malformed_batches_go_to_shard_zero() {
+        assert_eq!(victim_shard(&[0xAB; 3], 8), 0);
+        let parts = partition_batches(
+            vec![PacketBatch::repeated(SimTime(0), 1, vec![0xAB; 3])],
+            8,
+        );
+        assert_eq!(parts[0].len(), 1);
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), 1);
+    }
+}

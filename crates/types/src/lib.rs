@@ -15,6 +15,7 @@
 pub mod event;
 pub mod net;
 pub mod service;
+pub mod shard;
 pub mod stats;
 pub mod time;
 
@@ -22,6 +23,7 @@ pub use event::{
     AttackEvent, AttackVector, EventSource, PortSignature, ReflectionProtocol, TransportProto,
 };
 pub use net::{Asn, CountryCode, Ipv4Cidr, Prefix16, Prefix24};
+pub use shard::shard_of;
 pub use stats::{Ecdf, FrozenEcdf, LogHistogram, RunningStats, TimeSeries};
 pub use time::{
     CalendarDate, DayIndex, SimTime, TimeRange, SECS_PER_DAY, SECS_PER_HOUR, SECS_PER_MINUTE,

@@ -108,7 +108,9 @@ impl Ipv4Cidr {
         Ipv4Addr::from(self.network)
     }
 
-    /// Prefix length in bits.
+    /// Prefix length in bits (not a container size — there is no
+    /// corresponding `is_empty`).
+    #[allow(clippy::len_without_is_empty)]
     #[inline]
     pub fn len(&self) -> u8 {
         self.len

@@ -1,0 +1,57 @@
+//! The target-IP shard key shared by every parallel pipeline stage.
+//!
+//! Work is partitioned by the low bits of the target's /16 prefix. That
+//! specific key is what makes the sharded aggregates *exactly* additive:
+//! every address of a /16 — and therefore of every /24 inside it — lands
+//! in the same shard, so per-shard distinct-target, distinct-/24 and
+//! distinct-/16 counts can be summed without double counting. Anything
+//! coarser than a /16 (an AS, a country) can span shards and must be
+//! merged as a set union instead.
+
+use std::net::Ipv4Addr;
+
+/// The shard an address belongs to, out of `shards` (`shards = 0` is
+/// treated as 1). Stable across runs and platforms: pure arithmetic on
+/// the address bits, no hashing.
+pub fn shard_of(addr: Ipv4Addr, shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    ((u32::from(addr) >> 16) as usize) % shards
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slash16_stays_whole() {
+        for shards in 1..=16 {
+            let a = shard_of("203.0.113.9".parse().unwrap(), shards);
+            let b = shard_of("203.0.200.250".parse().unwrap(), shards);
+            assert_eq!(a, b, "same /16 must map to one shard ({shards} shards)");
+        }
+    }
+
+    #[test]
+    fn shards_cover_range() {
+        let shards = 8;
+        let mut seen = vec![false; shards];
+        for hi in 0..=255u32 {
+            for lo in 0..32u32 {
+                let addr = Ipv4Addr::from((hi << 24) | (lo << 16));
+                let s = shard_of(addr, shards);
+                assert!(s < shards);
+                seen[s] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "all shards receive work");
+    }
+
+    #[test]
+    fn degenerate_counts() {
+        let addr: Ipv4Addr = "10.1.2.3".parse().unwrap();
+        assert_eq!(shard_of(addr, 0), 0);
+        assert_eq!(shard_of(addr, 1), 0);
+    }
+}

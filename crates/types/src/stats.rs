@@ -349,13 +349,14 @@ impl TimeSeries {
         let window = window.max(1);
         let half = window / 2;
         let n = self.values.len();
-        let mut out = vec![0.0; n];
-        for i in 0..n {
-            let lo = i.saturating_sub(half);
-            let hi = (i + half + 1).min(n);
-            let slice = &self.values[lo..hi];
-            out[i] = slice.iter().sum::<f64>() / slice.len() as f64;
-        }
+        let out = (0..n)
+            .map(|i| {
+                let lo = i.saturating_sub(half);
+                let hi = (i + half + 1).min(n);
+                let slice = &self.values[lo..hi];
+                slice.iter().sum::<f64>() / slice.len() as f64
+            })
+            .collect();
         TimeSeries { values: out }
     }
 

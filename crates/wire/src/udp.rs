@@ -119,7 +119,7 @@ mod tests {
     #[test]
     fn roundtrip() {
         let (src, dst) = addrs();
-        let mut buf = vec![0u8; HEADER_LEN + 4];
+        let mut buf = [0u8; HEADER_LEN + 4];
         let mut u = UdpDatagram::new_unchecked(&mut buf[..]);
         u.set_src_port(53);
         u.set_dst_port(33000);
@@ -139,7 +139,7 @@ mod tests {
     #[test]
     fn zero_checksum_is_accepted() {
         let (src, dst) = addrs();
-        let mut buf = vec![0u8; HEADER_LEN];
+        let mut buf = [0u8; HEADER_LEN];
         let mut u = UdpDatagram::new_unchecked(&mut buf[..]);
         u.set_len(HEADER_LEN as u16);
         let v = UdpDatagram::new_checked(&buf[..]).unwrap();
@@ -156,7 +156,7 @@ mod tests {
 
     #[test]
     fn rejects_bad_length_field() {
-        let mut buf = vec![0u8; HEADER_LEN];
+        let mut buf = [0u8; HEADER_LEN];
         buf[4..6].copy_from_slice(&100u16.to_be_bytes());
         assert_eq!(
             UdpDatagram::new_checked(&buf[..]).unwrap_err(),

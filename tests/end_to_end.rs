@@ -141,7 +141,12 @@ fn shape_metrics_are_scale_invariant() {
     // scale denominator. Run two additional scales and compare the key
     // metrics.
     use dosscope_harness::experiments::Experiments;
-    let shares: Vec<_> = [40_000.0, 20_000.0, 10_000.0]
+    // Scales are chosen so every run has ≥ 1000 telescope events: the
+    // scripted episodes (marquee days, Wix, eNom, the long-attack
+    // sprinkle) are fixed-count by design, so at very small event
+    // populations (scale ≳ 40k ⇒ < 400 events) they plus binomial noise
+    // dominate the spread and the invariance check loses its power.
+    let shares: Vec<_> = [20_000.0, 10_000.0, 5_000.0]
         .into_iter()
         .map(|scale| {
             let w = Scenario::run(&ScenarioConfig {

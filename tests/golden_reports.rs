@@ -1,0 +1,68 @@
+//! Golden-file regression tests: the Table 1 and Table 2 aggregates and
+//! the complete ASCII reproduction report for the standard test
+//! configuration are pinned to checked-in snapshots under `tests/golden/`.
+//!
+//! Any intentional change to the pipeline or the renderers regenerates
+//! them with:
+//!
+//! ```text
+//! GOLDEN_UPDATE=1 cargo test -p dosscope-harness --test golden_reports
+//! ```
+
+use dosscope_core::report::{Table1, Table2};
+use dosscope_harness::experiments::Experiments;
+use dosscope_harness::{Scenario, ScenarioConfig};
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+/// Compare `actual` to the checked-in snapshot, or rewrite the snapshot
+/// when `GOLDEN_UPDATE` is set.
+fn check(name: &str, actual: &str) {
+    let path = golden_dir().join(name);
+    if std::env::var_os("GOLDEN_UPDATE").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("create golden dir");
+        std::fs::write(&path, actual).expect("write golden file");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); regenerate with GOLDEN_UPDATE=1",
+            path.display()
+        )
+    });
+    if expected == actual {
+        return;
+    }
+    for (i, (want, got)) in expected.lines().zip(actual.lines()).enumerate() {
+        assert_eq!(
+            want,
+            got,
+            "{name}: first difference at line {} (regenerate with GOLDEN_UPDATE=1 if intended)",
+            i + 1
+        );
+    }
+    panic!(
+        "{name}: line counts differ — golden {} vs actual {} (regenerate with GOLDEN_UPDATE=1 if intended)",
+        expected.lines().count(),
+        actual.lines().count()
+    );
+}
+
+#[test]
+fn golden_tables_and_report() {
+    let config = ScenarioConfig::test_small();
+    let world = Scenario::run(&config);
+    let fw = world.framework();
+    check("table1.txt", &Table1::build(&fw).render());
+    check(
+        "table2.txt",
+        &Table2::build(&fw).expect("scenario attaches the zone").render(),
+    );
+    check(
+        "report.txt",
+        &Experiments::run(&world, config.scale).render_report(),
+    );
+}

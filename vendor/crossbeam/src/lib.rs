@@ -1,0 +1,124 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Wraps `std::thread::scope` and `std::sync::mpsc::sync_channel` behind
+//! the two crossbeam entry points this workspace uses: [`scope`] with
+//! `Scope::spawn(|_| …)` closures, and [`channel::bounded`]. Semantics
+//! match crossbeam where the workspace relies on them: scoped spawns
+//! join before `scope` returns, the channel blocks the sender once the
+//! bound is reached, and `Receiver::iter` ends when all senders drop.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Error payload returned when a scoped thread panics.
+pub type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+/// A scope handle passed to [`scope`] closures; spawn threads through it.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. The closure receives a scope reference to
+    /// mirror crossbeam's signature (callers here ignore it as `|_|`).
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || {
+            f(&Scope { inner })
+        })
+    }
+}
+
+/// Run `f` with a thread scope; all spawned threads are joined before
+/// this returns. Returns `Err` with the panic payload if any scoped
+/// thread (or `f` itself) panicked.
+pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+/// Multi-producer channels (the `crossbeam-channel` façade).
+pub mod channel {
+    /// Sending half of a bounded channel.
+    pub struct Sender<T> {
+        inner: std::sync::mpsc::SyncSender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    #[derive(Debug)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> Sender<T> {
+        /// Send, blocking while the channel is full. Fails only if the
+        /// receiving side has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value).map_err(|e| SendError(e.0))
+        }
+    }
+
+    /// Receiving half of a bounded channel.
+    pub struct Receiver<T> {
+        inner: std::sync::mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocking iterator over received values; ends when every
+        /// sender has been dropped.
+        pub fn iter(&self) -> std::sync::mpsc::Iter<'_, T> {
+            self.inner.iter()
+        }
+
+        /// Receive one value, or `Err` once all senders are dropped.
+        pub fn recv(&self) -> Result<T, std::sync::mpsc::RecvError> {
+            self.inner.recv()
+        }
+    }
+
+    /// A bounded FIFO channel holding at most `cap` in-flight values.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = std::sync::mpsc::sync_channel(cap);
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_pipeline_roundtrip() {
+        let (tx, rx) = super::channel::bounded::<u64>(2);
+        let total = super::scope(|s| {
+            s.spawn(move |_| {
+                for i in 0..100u64 {
+                    tx.send(i).unwrap();
+                }
+            });
+            rx.iter().sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 4950);
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let r = super::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,457 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API this workspace uses —
+//! [`Strategy`], `any`, `Just`, ranges, tuples, `prop_map`,
+//! `collection::vec`, `prop_oneof!`, the `proptest!` test macro and the
+//! `prop_assert*` family — on top of the vendored deterministic `rand`.
+//!
+//! Differences from upstream: cases are generated from a seed derived
+//! from the test name (fully deterministic across runs) and there is no
+//! shrinking — a failing case reports its inputs via the panic message
+//! instead. That trade keeps the harness tiny while preserving the
+//! property-testing workflow.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The RNG handed to strategies.
+pub type TestRng = SmallRng;
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject(String),
+    /// A `prop_assert*` failed; the test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Construct a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Construct a rejection with a message.
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of random values. No shrinking: `new_value` draws one
+/// value from the strategy's distribution.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Box the strategy (for heterogeneous unions).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A boxed strategy, as produced by [`Strategy::boxed`].
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        (**self).new_value(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).new_value(rng)
+    }
+}
+
+/// The [`Strategy::prop_map`] adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draw an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen::<$t>()
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, bool);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite values only: uniform sign/magnitude over a wide span.
+        let mag = rng.gen::<f64>() * 1e12;
+        if rng.gen::<bool>() {
+            mag
+        } else {
+            -mag
+        }
+    }
+}
+
+/// Strategy for any value of `T` (mirrors `proptest::prelude::any`).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// The strategy returned by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<fn() -> T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for core::ops::Range<f32> {
+    type Value = f32;
+    fn new_value(&self, rng: &mut TestRng) -> f32 {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+
+/// A uniform choice among boxed alternatives (`prop_oneof!` backend).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over the given alternatives.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let idx = rng.gen_range(0..self.options.len());
+        self.options[idx].new_value(rng)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// Derive a stable 64-bit seed from a test identifier (FNV-1a).
+pub fn seed_for(name: &str, case: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Execute one proptest-style test body over `config.cases` cases.
+///
+/// `body` receives a fresh deterministic RNG per case and returns
+/// `Err(TestCaseError::Fail)` on assertion failure (which panics with the
+/// case number) or `Err(TestCaseError::Reject)` to skip the case.
+pub fn run_cases(
+    name: &str,
+    config: &ProptestConfig,
+    body: impl Fn(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let mut rejected = 0u64;
+    let mut case = 0u64;
+    let mut executed = 0u32;
+    while executed < config.cases {
+        let mut rng = TestRng::seed_from_u64(seed_for(name, case));
+        case += 1;
+        match body(&mut rng) {
+            Ok(()) => executed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected < 1024 + 16 * config.cases as u64,
+                    "{name}: too many prop_assume! rejections ({rejected})"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{name}: case {case} failed: {msg}");
+            }
+        }
+    }
+}
+
+/// The `proptest!` macro: wraps each contained `#[test]` function so its
+/// body runs over deterministically generated cases. As with upstream
+/// proptest, callers write the `#[test]` attribute themselves (the macro
+/// re-emits whatever attributes precede the `fn`).
+#[macro_export]
+macro_rules! proptest {
+    // With a leading config attribute.
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($config) $($rest)*);
+    };
+    // Without one.
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Internal: expand each `fn name(args in strategies) { body }` item.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            $crate::run_cases(stringify!($name), &config, |__rng| {
+                $(let $pat = $crate::Strategy::new_value(&($strat), __rng);)+
+                $body
+                Ok(())
+            });
+        }
+        $crate::__proptest_fns!(($config) $($rest)*);
+    };
+}
+
+/// Assert a condition inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Assert equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {:?} != {:?}",
+                left, right
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {:?} != {:?}: {}",
+                left, right, format!($($fmt)*)
+            )));
+        }
+    }};
+}
+
+/// Reject the current case unless a precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// Uniform choice among strategy alternatives with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// The prelude, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respected(x in 5u64..10, y in 0.0f64..1.0) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!((0.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn maps_apply(v in (0u32..4).prop_map(|x| x * 2)) {
+            prop_assert!(v % 2 == 0 && v < 8, "v = {v}");
+        }
+
+        #[test]
+        fn assume_skips(x in 0u8..8) {
+            prop_assume!(x != 3);
+            prop_assert!(x != 3);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+        #[test]
+        fn oneof_and_vec(xs in crate::collection::vec(prop_oneof![Just(1u8), Just(2u8)], 1..20)) {
+            prop_assert!(!xs.is_empty());
+            prop_assert!(xs.iter().all(|&x| x == 1 || x == 2));
+        }
+    }
+
+    #[test]
+    fn deterministic_seeds() {
+        assert_eq!(super::seed_for("a", 0), super::seed_for("a", 0));
+        assert_ne!(super::seed_for("a", 0), super::seed_for("b", 0));
+    }
+}
