@@ -17,4 +17,13 @@ cargo test -q --workspace
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> bench smoke (pipeline --smoke --check BENCH_pipeline.json)"
+# Runs the end-to-end bench at the reduced smoke scale and validates the
+# committed trajectory file: structurally well-formed, and no measured
+# current-vs-baseline speedup regressed to less than half the committed
+# value (speedups are in-run ratios, so the gate is machine-independent).
+smoke_out="$(mktemp)"
+trap 'rm -f "$smoke_out"' EXIT
+./target/release/pipeline --smoke --out "$smoke_out" --check BENCH_pipeline.json
+
 echo "ci.sh: all checks passed"

@@ -2,12 +2,13 @@
 //! state.
 
 use crate::honeypot::HoneypotId;
-use dosscope_types::{ReflectionProtocol, SimTime};
+use dosscope_types::{ReflectionProtocol, SharedBytes, SimTime};
 use std::net::Ipv4Addr;
 
 /// A batch of `count` identical spoofed requests received by one honeypot
 /// at `ts` (same compression scheme as the telescope's
-/// `PacketBatch`; see DESIGN.md).
+/// `PacketBatch`; see DESIGN.md). The representative bytes are
+/// [`SharedBytes`], so cloning a batch never copies the packet.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RequestBatch {
     /// Receiving honeypot.
@@ -17,17 +18,22 @@ pub struct RequestBatch {
     /// Number of identical requests this batch stands for (≥ 1).
     pub count: u32,
     /// One representative request packet, starting at the IPv4 header.
-    pub bytes: Vec<u8>,
+    pub bytes: SharedBytes,
 }
 
 impl RequestBatch {
     /// A batch of `count` identical requests.
-    pub fn repeated(honeypot: HoneypotId, ts: SimTime, count: u32, bytes: Vec<u8>) -> RequestBatch {
+    pub fn repeated(
+        honeypot: HoneypotId,
+        ts: SimTime,
+        count: u32,
+        bytes: impl Into<SharedBytes>,
+    ) -> RequestBatch {
         RequestBatch {
             honeypot,
             ts,
             count: count.max(1),
-            bytes,
+            bytes: bytes.into(),
         }
     }
 
@@ -48,6 +54,9 @@ pub(crate) struct PotEvent {
     pub last: SimTime,
     pub requests: u64,
     pub bytes: u64,
+    /// Last-activity wheel bucket this event is registered under
+    /// (`u64::MAX` = not registered yet); owned by the fleet's idle sweep.
+    pub bucket: u64,
 }
 
 impl PotEvent {
@@ -72,6 +81,7 @@ impl PotEvent {
             last: ts,
             requests: 0,
             bytes: 0,
+            bucket: u64::MAX,
         }
     }
 

@@ -5,11 +5,50 @@
 use crate::event::{PotEvent, RequestBatch};
 use crate::honeypot::{standard_fleet, Honeypot, HoneypotId};
 use dosscope_types::{
-    AttackEvent, AttackVector, ReflectionProtocol, SimTime, TimeRange,
+    AttackEvent, AttackVector, FastMap, ReflectionProtocol, SharedBytes, SimTime, TimeRange,
+    SECS_PER_HOUR,
 };
 use dosscope_wire::{reflect, IpProtocol, Ipv4Packet, UdpDatagram};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
+
+/// Key of an open per-honeypot event.
+type OpenKey = (Ipv4Addr, ReflectionProtocol, HoneypotId);
+
+/// Upper bound on the parse-memo size; reached only when more distinct
+/// representative packets than this are in flight at once, in which case
+/// the memo is simply rebuilt (correctness never depends on a hit).
+const PARSE_MEMO_CAP: usize = 4_096;
+
+/// The outcome of parsing and classifying one representative packet.
+/// Identical bytes always produce the identical outcome, which is what
+/// makes memoizing by allocation sound.
+#[derive(Debug, Clone, Copy)]
+enum Classified {
+    /// Failed IPv4/UDP parsing.
+    Malformed,
+    /// Parsed but not a recognisable abuse request.
+    Unrecognised,
+    /// An abuse request: spoofed victim source and emulated protocol.
+    Request(Ipv4Addr, ReflectionProtocol),
+}
+
+/// Parse and classify one representative packet (the uncached path).
+fn classify_bytes(bytes: &[u8]) -> Classified {
+    let Ok(ip) = Ipv4Packet::new_checked(bytes) else {
+        return Classified::Malformed;
+    };
+    if ip.protocol() != IpProtocol::Udp {
+        return Classified::Unrecognised;
+    }
+    let Ok(udp) = UdpDatagram::new_checked(ip.payload()) else {
+        return Classified::Malformed;
+    };
+    let Some(protocol) = reflect::classify_request(udp.dst_port(), udp.payload()) else {
+        return Classified::Unrecognised;
+    };
+    Classified::Request(ip.src(), protocol)
+}
 
 /// Fleet parameters; defaults follow the paper and the AmpPot design.
 #[derive(Debug, Clone, Copy)]
@@ -59,7 +98,24 @@ pub struct AmpPotFleet {
     config: FleetConfig,
     honeypots: Vec<Honeypot>,
     /// Open per-(victim, protocol, honeypot) events.
-    open: HashMap<(Ipv4Addr, ReflectionProtocol, HoneypotId), PotEvent>,
+    open: FastMap<OpenKey, PotEvent>,
+    /// Coarse last-activity wheel over `open`: bucket index
+    /// (`last.secs() / granularity`) → keys active in that bucket. Stale
+    /// entries (the event moved on or was replaced) are dropped lazily by
+    /// comparing against the event's authoritative `bucket` field.
+    buckets: BTreeMap<u64, Vec<OpenKey>>,
+    /// Wheel bucket width in seconds (≤ idle timeout).
+    granularity: u64,
+    /// Hour of the last idle sweep; ingestion is time-ordered, so crossing
+    /// an hour boundary is the trigger to expire idle open events.
+    swept_hour: u64,
+    /// Parse memo keyed by the representative's allocation address. The
+    /// renderer builds one [`SharedBytes`] packet per (attack, honeypot)
+    /// and shares it across every batch, so each representative is parsed
+    /// and classified once instead of once per batch. The stored clone
+    /// pins the allocation, so an address can never be reused by different
+    /// bytes while its entry lives.
+    parse_memo: FastMap<usize, (SharedBytes, Classified)>,
     closed: Vec<PotEvent>,
     stats: FleetStats,
 }
@@ -75,7 +131,11 @@ impl AmpPotFleet {
         AmpPotFleet {
             config,
             honeypots,
-            open: HashMap::new(),
+            open: FastMap::default(),
+            buckets: BTreeMap::new(),
+            granularity: config.idle_timeout_secs.clamp(1, SECS_PER_HOUR),
+            swept_hour: 0,
+            parse_memo: FastMap::default(),
             closed: Vec::new(),
             stats: FleetStats::default(),
         }
@@ -93,23 +153,41 @@ impl AmpPotFleet {
 
     /// Ingest one request batch (time-ordered).
     pub fn ingest(&mut self, batch: &RequestBatch) {
-        let Ok(ip) = Ipv4Packet::new_checked(batch.bytes.as_slice()) else {
-            self.stats.malformed += 1;
-            return;
-        };
-        if ip.protocol() != IpProtocol::Udp {
-            self.stats.unrecognised += 1;
-            return;
+        // Expire idle open events once per simulated hour. Because the
+        // stream is time-ordered, anything idle *now* stays idle for every
+        // later batch, so sweeping early closes exactly the events the
+        // per-key idle check below would close anyway — but bounds the
+        // open map by the set of victims active in the last hour instead
+        // of the whole trace.
+        let hour = batch.ts.secs() / SECS_PER_HOUR;
+        if hour > self.swept_hour {
+            self.swept_hour = hour;
+            self.sweep_idle(batch.ts);
         }
-        let Ok(udp) = UdpDatagram::new_checked(ip.payload()) else {
-            self.stats.malformed += 1;
-            return;
+        let key = batch.bytes.as_slice().as_ptr() as usize;
+        let classified = match self.parse_memo.get(&key) {
+            Some((_pinned, c)) => *c,
+            None => {
+                let c = classify_bytes(batch.bytes.as_slice());
+                if self.parse_memo.len() >= PARSE_MEMO_CAP {
+                    self.parse_memo.clear();
+                }
+                self.parse_memo.insert(key, (batch.bytes.clone(), c));
+                c
+            }
         };
-        let Some(protocol) = reflect::classify_request(udp.dst_port(), udp.payload()) else {
-            self.stats.unrecognised += 1;
-            return;
+        let (victim, protocol) = match classified {
+            Classified::Malformed => {
+                self.stats.malformed += 1;
+                return;
+            }
+            Classified::Unrecognised => {
+                self.stats.unrecognised += 1;
+                return;
+            }
+            // The spoofed source IS the victim.
+            Classified::Request(victim, protocol) => (victim, protocol),
         };
-        let victim = ip.src(); // the spoofed source IS the victim
         self.stats.requests += batch.count as u64;
 
         // Reply rate limiting: at most the first few requests per source
@@ -141,6 +219,53 @@ impl AmpPotFleet {
         entry.last = entry.last.max(batch.ts);
         entry.requests += batch.count as u64;
         entry.bytes += batch.total_bytes();
+        // Keep the wheel current: (re-)register the key when the event's
+        // last activity moved to a new bucket.
+        let bucket = entry.last.secs() / self.granularity;
+        if bucket != entry.bucket {
+            entry.bucket = bucket;
+            self.buckets.entry(bucket).or_default().push(key);
+        }
+    }
+
+    /// Close every open event whose idle gap has elapsed as of `now`.
+    /// Visits only wheel buckets old enough to possibly hold idle events
+    /// (O(expired), not O(open)); the newest such bucket is checked
+    /// entry-by-entry and re-inserted if anything in it is still live.
+    fn sweep_idle(&mut self, now: SimTime) {
+        while let Some((&bucket, _)) = self.buckets.first_key_value() {
+            if now.secs() <= bucket.saturating_mul(self.granularity) + self.config.idle_timeout_secs
+            {
+                break;
+            }
+            let (_, keys) = self.buckets.pop_first().expect("checked non-empty");
+            let mut keep = Vec::new();
+            for key in keys {
+                let Some(e) = self.open.get(&key) else {
+                    continue; // stale: event closed and not re-opened
+                };
+                if e.bucket != bucket {
+                    continue; // stale: event saw newer activity
+                }
+                if now.secs() > e.last.secs() + self.config.idle_timeout_secs {
+                    let finished = self.open.remove(&key).expect("present above");
+                    self.stats.pot_events += 1;
+                    self.closed.push(finished);
+                } else {
+                    keep.push(key);
+                }
+            }
+            if !keep.is_empty() {
+                // Later buckets hold strictly newer activity: done.
+                self.buckets.insert(bucket, keep);
+                break;
+            }
+        }
+    }
+
+    /// Number of currently open per-honeypot events (bench telemetry).
+    pub fn open_events(&self) -> usize {
+        self.open.len()
     }
 
     /// End of trace: close all open events, merge per-honeypot views into
@@ -152,14 +277,19 @@ impl AmpPotFleet {
         self.closed.extend(open);
 
         // Group per (victim, protocol).
-        let mut groups: HashMap<(Ipv4Addr, ReflectionProtocol), Vec<PotEvent>> = HashMap::new();
+        let mut groups: FastMap<(Ipv4Addr, ReflectionProtocol), Vec<PotEvent>> =
+            FastMap::default();
         for e in self.closed.drain(..) {
             groups.entry((e.victim, e.protocol)).or_default().push(e);
         }
 
         let mut events = Vec::new();
         for ((victim, protocol), mut pots) in groups {
-            pots.sort_by_key(|e| e.first);
+            // (first, honeypot) is a total order within a group — one
+            // honeypot's events for a key never share a start second — so
+            // the merge below is independent of close order (ingest's
+            // inline close, the hourly idle sweep, or the final drain).
+            pots.sort_by_key(|e| (e.first, e.honeypot));
             // Merge per-honeypot intervals whose gaps are within the idle
             // timeout: they are views of the same attack from different
             // reflectors.
@@ -435,6 +565,71 @@ mod tests {
         // most 2 replies per minute may be sent.
         assert!(stats.replies_sent <= 4, "rate limiter caps replies, got {}", stats.replies_sent);
         assert_eq!(stats.requests, 600);
+    }
+
+    /// The parse memo must be invisible: batches sharing one allocation
+    /// and batches with freshly-allocated identical bytes produce the
+    /// same events and statistics.
+    #[test]
+    fn shared_representative_parsed_once_same_results() {
+        let mut shared = fleet();
+        let mut fresh = fleet();
+        let pot_addr = shared.honeypots()[0].addr;
+        let pkt =
+            builder::reflection_request(victim(), 40_000, pot_addr, ReflectionProtocol::Ntp);
+        let rep = SharedBytes::from(pkt.clone());
+        for s in 0..200u64 {
+            shared.ingest(&RequestBatch::repeated(HoneypotId(0), SimTime(s), 2, rep.clone()));
+            fresh.ingest(&RequestBatch::repeated(HoneypotId(0), SimTime(s), 2, pkt.clone()));
+        }
+        // Malformed bytes are memoized with their outcome too.
+        let junk = SharedBytes::from(vec![0xAB_u8; 6]);
+        for s in 200..203u64 {
+            shared.ingest(&RequestBatch::repeated(HoneypotId(0), SimTime(s), 1, junk.clone()));
+            fresh.ingest(&RequestBatch::repeated(HoneypotId(0), SimTime(s), 1, vec![0xAB_u8; 6]));
+        }
+        let ss = shared.stats();
+        let sf = fresh.stats();
+        assert_eq!(ss.requests, sf.requests);
+        assert_eq!(ss.replies_sent, sf.replies_sent);
+        assert_eq!(ss.malformed, sf.malformed);
+        let (es, _) = shared.finish();
+        let (ef, _) = fresh.finish();
+        assert_eq!(es, ef);
+    }
+
+    #[test]
+    fn hourly_sweep_bounds_open_events() {
+        let mut f = fleet();
+        // 40 victims attack in hour 0, then go quiet.
+        for v in 0..40u8 {
+            let victim = Ipv4Addr::new(203, 0, 113, v);
+            feed(&mut f, victim, ReflectionProtocol::Ntp, v as u64, 120, 2, 1);
+        }
+        assert_eq!(f.open_events(), 40);
+        // One fresh victim two hours later: crossing the hour boundary
+        // sweeps every idle event out of the open map.
+        feed(&mut f, victim(), ReflectionProtocol::Dns, 3 * 3600, 150, 2, 1);
+        assert_eq!(f.open_events(), 1, "idle events were swept, fresh one kept");
+        let (events, _) = f.finish();
+        assert_eq!(events.len(), 41, "sweeping changes nothing observable");
+    }
+
+    #[test]
+    fn sweep_keeps_recently_active_events() {
+        let mut f = fleet();
+        let busy: Ipv4Addr = "203.0.113.50".parse().unwrap();
+        // `busy` stays active across the boundary; a second victim goes
+        // idle early in hour 0.
+        feed(&mut f, victim(), ReflectionProtocol::Ntp, 0, 120, 2, 1);
+        feed(&mut f, busy, ReflectionProtocol::Ntp, 3500, 400, 2, 1);
+        // Hour-2 traffic triggers a sweep: only the idle event may close.
+        feed(&mut f, busy, ReflectionProtocol::Ntp, 2 * 3600 + 100, 120, 2, 1);
+        assert_eq!(f.open_events(), 1, "active event survives the sweep");
+        let (events, _) = f.finish();
+        // `busy`'s two bursts sit within the idle gap of each other, so
+        // they merge into one event; `victim()`'s burst is separate.
+        assert_eq!(events.len(), 2);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! A single honeypot instance: identity, placement and the per-source
 //! reply rate limiter.
 
-use std::collections::HashMap;
+use dosscope_types::FastMap;
 use std::net::Ipv4Addr;
 
 /// Index of a honeypot within the fleet (0..24 for the standard fleet).
@@ -75,7 +75,7 @@ impl Honeypot {
 struct RateLimiter {
     max_per_minute: u32,
     current_minute: u64,
-    counts: HashMap<u32, u32>,
+    counts: FastMap<u32, u32>,
 }
 
 impl RateLimiter {
@@ -83,7 +83,7 @@ impl RateLimiter {
         RateLimiter {
             max_per_minute,
             current_minute: 0,
-            counts: HashMap::new(),
+            counts: FastMap::default(),
         }
     }
 

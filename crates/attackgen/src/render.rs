@@ -18,7 +18,7 @@
 use crate::model::{GroundTruth, GtKind, GtPorts};
 use dosscope_amppot::{HoneypotId, RequestBatch};
 use dosscope_telescope::{PacketBatch, Telescope};
-use dosscope_types::{DayIndex, SimTime, TimeRange, TransportProto, SECS_PER_MINUTE};
+use dosscope_types::{DayIndex, SharedBytes, SimTime, TimeRange, TransportProto, SECS_PER_MINUTE};
 use dosscope_wire::builder;
 use dosscope_wire::IpProtocol;
 use rand::rngs::SmallRng;
@@ -71,10 +71,13 @@ impl<'a> Renderer<'a> {
 
     /// Render all backscatter batches for `day`, sorted by timestamp.
     pub fn telescope_day(&self, day: DayIndex) -> Vec<PacketBatch> {
-        let mut out = Vec::new();
         let Some(indices) = self.day_index.get(day.0 as usize) else {
-            return out;
+            return Vec::new();
         };
+        // Rough reservation: a short attack emits a handful of batches;
+        // marathon ones grow the vector a few times — still far fewer
+        // reallocations than starting empty.
+        let mut out = Vec::with_capacity(indices.len() * 16);
         for &idx in indices {
             let attack = &self.truth.attacks[idx as usize];
             if let GtKind::RandomSpoofed {
@@ -221,10 +224,10 @@ impl<'a> Renderer<'a> {
 
     /// Render all honeypot request batches for `day`, sorted by timestamp.
     pub fn honeypot_day(&self, day: DayIndex) -> Vec<RequestBatch> {
-        let mut out = Vec::new();
         let Some(indices) = self.day_index.get(day.0 as usize) else {
-            return out;
+            return Vec::new();
         };
+        let mut out = Vec::with_capacity(indices.len() * 16);
         for &idx in indices {
             let attack = &self.truth.attacks[idx as usize];
             if let GtKind::Reflection {
@@ -267,6 +270,13 @@ impl<'a> Renderer<'a> {
             return;
         };
         let per_pot_rate = fleet_rate / pots.len().max(1) as f64;
+        // One representative request per (attack-day, pot): the spoofed
+        // source is the victim and the payload is protocol-fixed, so all
+        // of a pot's batches today can share one encoded packet. The
+        // source port is drawn per batch regardless (the RNG stream is
+        // pinned by the determinism and golden tests) but only the first
+        // draw is rendered; the fleet never reads the source port.
+        let mut representatives: Vec<Option<SharedBytes>> = vec![None; pots.len()];
         let whole_event_today = day_range.start <= window.start && window.end <= day_range.end;
         let mut emitted_today = 0u64;
         let first_minute = active.start.minute();
@@ -297,12 +307,17 @@ impl<'a> Renderer<'a> {
                     SimTime(overlap_start + rng.gen_range(0..overlap.max(1)))
                 };
                 let pot_addr = self.honeypot_addrs[pot as usize % self.honeypot_addrs.len()];
-                let bytes = builder::reflection_request(
-                    victim,
-                    rng.gen_range(1024..65535),
-                    pot_addr,
-                    protocol,
-                );
+                let src_port = rng.gen_range(1024..65535);
+                let bytes = match &representatives[pi] {
+                    Some(b) => b.clone(),
+                    None => {
+                        let b = SharedBytes::from(builder::reflection_request(
+                            victim, src_port, pot_addr, protocol,
+                        ));
+                        representatives[pi] = Some(b.clone());
+                        b
+                    }
+                };
                 out.push(RequestBatch::repeated(
                     HoneypotId(pot),
                     ts,
@@ -488,6 +503,25 @@ mod tests {
         for b in r.telescope_day(DayIndex(0)) {
             let ip = dosscope_wire::Ipv4Packet::new_checked(b.bytes.as_slice()).unwrap();
             assert!(t.observes(ip.dst()), "{} outside the darknet", ip.dst());
+        }
+    }
+
+    #[test]
+    fn request_representatives_are_shared_per_pot() {
+        let truth = truth_with(vec![hp_attack(2000, 3000, 2.0)]);
+        let r = Renderer::new(&truth, Telescope::default_slash8(), fleet_addrs(), 7, 2);
+        let batches = r.honeypot_day(DayIndex(0));
+        let mut per_pot = std::collections::HashMap::new();
+        for b in &batches {
+            per_pot.entry(b.honeypot).or_insert_with(Vec::new).push(b);
+        }
+        for (_, list) in per_pot {
+            assert!(list.len() > 1, "long attack yields many batches per pot");
+            let first = list[0].bytes.as_slice().as_ptr();
+            assert!(
+                list.iter().all(|b| b.bytes.as_slice().as_ptr() == first),
+                "all of a pot's batches share one representative allocation"
+            );
         }
     }
 

@@ -107,7 +107,7 @@ fn bench_figures(c: &mut Criterion) {
 
     // Section 4: joint-attack correlation.
     let enricher = Enricher::new(framework.geo, framework.asdb);
-    let joint = JointAnalysis::run(&framework.store, &enricher);
+    let joint = JointAnalysis::run(framework.store, &enricher);
     println!(
         "Joint: {} common, {} joint targets, single-port {:.1}%",
         joint.common_targets,
@@ -117,7 +117,7 @@ fn bench_figures(c: &mut Criterion) {
     c.bench_function("joint_attack_correlation", |b| {
         b.iter(|| {
             let enricher = Enricher::new(framework.geo, framework.asdb);
-            JointAnalysis::run(&framework.store, &enricher)
+            JointAnalysis::run(framework.store, &enricher)
         })
     });
 }

@@ -1,0 +1,621 @@
+//! Pre-overhaul replicas of the two measurement hot paths, kept as the
+//! benchmark baseline lane.
+//!
+//! These reproduce the implementations as they stood before the hot-path
+//! overhaul, byte-for-byte in behaviour but with the old data structures:
+//!
+//! * `std::collections` hash maps/sets with the default SipHash hasher
+//!   everywhere the current code uses `FastMap`/`FastSet`;
+//! * flow expiry as a full-table scan at every interval boundary instead
+//!   of the bucketed time wheel;
+//! * the honeypot fleet without the hourly idle sweep, so the open-event
+//!   map grows with the set of victims seen over the whole trace;
+//! * batch representatives held as `Arc<Vec<u8>>` (the pre-overhaul
+//!   `SharedBytes` layout), costing two dependent pointer hops per read
+//!   where the current `Arc<[u8]>` costs one — the lanes convert their
+//!   input outside the timed region via [`baseline_packets`] /
+//!   [`baseline_requests`], preserving representative sharing;
+//! * no parse memo: every request batch is re-parsed and re-classified.
+//!
+//! The replicas emit the same events as the current detectors (the
+//! `pipeline` binary asserts this), which is what makes the recorded
+//! speedups honest: both lanes do the same observable work.
+
+use dosscope_amppot::{FleetStats, HoneypotId, RequestBatch};
+use dosscope_telescope::{classify, Backscatter, DetectorConfig, PacketBatch, Telescope};
+use dosscope_telescope::detector::DetectorStats;
+use dosscope_types::{
+    AttackEvent, AttackVector, PortSignature, ReflectionProtocol, SimTime, TimeRange,
+    TransportProto,
+};
+use dosscope_wire::{reflect, IpProtocol, Ipv4Packet, UdpDatagram};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+/// The pre-overhaul representative buffer: `Arc<Vec<u8>>`, i.e. two
+/// dependent pointer hops per read (Arc box, then heap data) where the
+/// current `SharedBytes` inlines the bytes next to the refcount.
+#[derive(Debug, Clone)]
+pub struct BaselineBytes(Arc<Vec<u8>>);
+
+impl BaselineBytes {
+    /// The contents as a slice (through both hops).
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// A telescope packet batch in the pre-overhaul representation.
+#[derive(Debug, Clone)]
+pub struct BaselinePacketBatch {
+    /// Capture timestamp.
+    pub ts: SimTime,
+    /// Packets the batch stands for.
+    pub count: u32,
+    /// One representative packet.
+    pub bytes: BaselineBytes,
+}
+
+impl BaselinePacketBatch {
+    /// Total bytes on the wire the batch stands for.
+    pub fn total_bytes(&self) -> u64 {
+        self.count as u64 * self.bytes.as_slice().len() as u64
+    }
+}
+
+/// A honeypot request batch in the pre-overhaul representation.
+#[derive(Debug, Clone)]
+pub struct BaselineRequestBatch {
+    /// The honeypot that received the requests.
+    pub honeypot: HoneypotId,
+    /// Arrival timestamp.
+    pub ts: SimTime,
+    /// Requests the batch stands for.
+    pub count: u32,
+    /// One representative request.
+    pub bytes: BaselineBytes,
+}
+
+impl BaselineRequestBatch {
+    /// Total bytes received that the batch stands for.
+    pub fn total_bytes(&self) -> u64 {
+        self.count as u64 * self.bytes.as_slice().len() as u64
+    }
+}
+
+/// Convert a rendered telescope stream to the pre-overhaul layout.
+/// Sharing is preserved: batches that are clones of one allocation stay
+/// clones of one allocation, exactly as the old renderer emitted them.
+pub fn baseline_packets(batches: &[PacketBatch]) -> Vec<BaselinePacketBatch> {
+    let mut reps: HashMap<usize, BaselineBytes> = HashMap::new();
+    batches
+        .iter()
+        .map(|b| BaselinePacketBatch {
+            ts: b.ts,
+            count: b.count,
+            bytes: reps
+                .entry(b.bytes.as_slice().as_ptr() as usize)
+                .or_insert_with(|| BaselineBytes(Arc::new(b.bytes.as_slice().to_vec())))
+                .clone(),
+        })
+        .collect()
+}
+
+/// Convert a rendered honeypot request stream to the pre-overhaul layout,
+/// preserving representative sharing like [`baseline_packets`].
+pub fn baseline_requests(batches: &[RequestBatch]) -> Vec<BaselineRequestBatch> {
+    let mut reps: HashMap<usize, BaselineBytes> = HashMap::new();
+    batches
+        .iter()
+        .map(|b| BaselineRequestBatch {
+            honeypot: b.honeypot,
+            ts: b.ts,
+            count: b.count,
+            bytes: reps
+                .entry(b.bytes.as_slice().as_ptr() as usize)
+                .or_insert_with(|| BaselineBytes(Arc::new(b.bytes.as_slice().to_vec())))
+                .clone(),
+        })
+        .collect()
+}
+
+const MAX_TRACKED_PORTS: usize = 256;
+const MAX_TRACKED_SOURCES: usize = 65_536;
+
+/// An in-progress flow, as tracked before the overhaul (SipHash source
+/// set, no wheel-bucket field).
+#[derive(Debug, Clone)]
+struct BaselineFlow {
+    victim: Ipv4Addr,
+    first: SimTime,
+    last: SimTime,
+    packets: u64,
+    bytes: u64,
+    proto_packets: [u64; 4],
+    ports: BTreeSet<u16>,
+    ports_saturated: bool,
+    sources: HashSet<u32>,
+    sources_overflow: u32,
+    cur_minute: u64,
+    cur_minute_count: u64,
+    max_minute_count: u64,
+}
+
+impl BaselineFlow {
+    fn new(victim: Ipv4Addr, ts: SimTime) -> BaselineFlow {
+        BaselineFlow {
+            victim,
+            first: ts,
+            last: ts,
+            packets: 0,
+            bytes: 0,
+            proto_packets: [0; 4],
+            ports: BTreeSet::new(),
+            ports_saturated: false,
+            sources: HashSet::new(),
+            sources_overflow: 0,
+            cur_minute: ts.minute(),
+            cur_minute_count: 0,
+            max_minute_count: 0,
+        }
+    }
+
+    fn add(&mut self, b: &Backscatter, ts: SimTime, count: u32, bytes: u64) {
+        self.last = self.last.max(ts);
+        self.packets += count as u64;
+        self.bytes += bytes;
+        let proto_idx = TransportProto::ALL
+            .iter()
+            .position(|p| *p == b.attack_proto)
+            .expect("ALL covers every variant");
+        self.proto_packets[proto_idx] += count as u64;
+        if let Some(port) = b.victim_port {
+            if self.ports.len() < MAX_TRACKED_PORTS {
+                self.ports.insert(port);
+            } else if !self.ports.contains(&port) {
+                self.ports_saturated = true;
+            }
+        }
+        let src = u32::from(b.spoofed_source);
+        if self.sources.len() < MAX_TRACKED_SOURCES {
+            self.sources.insert(src);
+        } else if !self.sources.contains(&src) {
+            self.sources_overflow = self.sources_overflow.saturating_add(1);
+        }
+        let minute = ts.minute();
+        if minute != self.cur_minute {
+            self.max_minute_count = self.max_minute_count.max(self.cur_minute_count);
+            self.cur_minute = minute;
+            self.cur_minute_count = 0;
+        }
+        self.cur_minute_count += count as u64;
+    }
+
+    fn max_pps(&self) -> f64 {
+        self.max_minute_count.max(self.cur_minute_count) as f64
+            / dosscope_types::SECS_PER_MINUTE as f64
+    }
+
+    fn distinct_ports(&self) -> u32 {
+        self.ports.len() as u32 + u32::from(self.ports_saturated)
+    }
+
+    fn distinct_sources(&self) -> u32 {
+        self.sources.len() as u32 + self.sources_overflow
+    }
+
+    fn dominant_proto(&self) -> TransportProto {
+        let (idx, _) = self
+            .proto_packets
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, c)| **c)
+            .expect("array non-empty");
+        TransportProto::ALL[idx]
+    }
+}
+
+/// The pre-overhaul RSDoS detector: SipHash flow table, full-scan expiry.
+///
+/// Drives exactly the same classification, thresholds and event assembly
+/// as [`dosscope_telescope::RsdosDetector`]; only the container types and
+/// the sweep algorithm differ.
+pub struct BaselineRsdos {
+    config: DetectorConfig,
+    telescope: Telescope,
+    flows: HashMap<Ipv4Addr, BaselineFlow>,
+    events: Vec<AttackEvent>,
+    stats: DetectorStats,
+}
+
+impl BaselineRsdos {
+    /// A baseline detector with the published default thresholds.
+    pub fn with_defaults(telescope: Telescope) -> BaselineRsdos {
+        BaselineRsdos {
+            config: DetectorConfig::default(),
+            telescope,
+            flows: HashMap::new(),
+            events: Vec::new(),
+            stats: DetectorStats::default(),
+        }
+    }
+
+    /// Number of currently live flows.
+    pub fn live_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Ingest one captured batch (time-ordered), in the pre-overhaul
+    /// `Arc<Vec<u8>>` representation.
+    pub fn ingest(&mut self, batch: &BaselinePacketBatch) {
+        let Ok(ip) = Ipv4Packet::new_checked(batch.bytes.as_slice()) else {
+            self.stats.malformed += 1;
+            return;
+        };
+        if !self.telescope.observes(ip.dst()) {
+            self.stats.non_backscatter += 1;
+            return;
+        }
+        let Some(bs) = classify(&ip) else {
+            self.stats.non_backscatter += 1;
+            return;
+        };
+        self.stats.backscatter_packets += batch.count as u64;
+        let timeout = self.config.flow_timeout_secs;
+        let flow = self
+            .flows
+            .entry(bs.victim)
+            .or_insert_with(|| BaselineFlow::new(bs.victim, batch.ts));
+        let mut expired = None;
+        if batch.ts.secs() > flow.last.secs() + timeout {
+            expired = Some(std::mem::replace(
+                flow,
+                BaselineFlow::new(bs.victim, batch.ts),
+            ));
+        }
+        flow.add(&bs, batch.ts, batch.count, batch.total_bytes());
+        if let Some(old) = expired {
+            self.finalize(old);
+        }
+    }
+
+    /// Interval boundary: the pre-overhaul full-table scan over every live
+    /// flow, finalizing the idle ones in victim order.
+    pub fn advance(&mut self, now: SimTime) {
+        let timeout = self.config.flow_timeout_secs;
+        let mut expired: Vec<Ipv4Addr> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| now.secs() > f.last.secs() + timeout)
+            .map(|(k, _)| *k)
+            .collect();
+        expired.sort();
+        for k in expired {
+            let flow = self.flows.remove(&k).expect("key collected above");
+            self.finalize(flow);
+        }
+    }
+
+    /// End of trace: finalize everything, sorted by start time.
+    pub fn finish(mut self) -> (Vec<AttackEvent>, DetectorStats) {
+        let mut rest: Vec<BaselineFlow> = self.flows.drain().map(|(_, f)| f).collect();
+        rest.sort_by_key(|f| f.victim);
+        for flow in rest {
+            self.finalize(flow);
+        }
+        self.events.sort_by_key(|e| (e.when.start, e.target));
+        (self.events, self.stats)
+    }
+
+    fn finalize(&mut self, flow: BaselineFlow) {
+        self.stats.flows_finalized += 1;
+        let duration = flow.last.secs() - flow.first.secs();
+        let max_pps = flow.max_pps();
+        if flow.packets < self.config.min_packets
+            || duration < self.config.min_duration_secs
+            || max_pps < self.config.min_max_pps
+        {
+            self.stats.flows_filtered += 1;
+            return;
+        }
+        let proto = flow.dominant_proto();
+        let ports = match (proto, flow.distinct_ports()) {
+            (TransportProto::Icmp | TransportProto::Other, _) | (_, 0) => PortSignature::None,
+            (_, 1) => PortSignature::Single(
+                *flow.ports.iter().next().expect("exactly one port"),
+            ),
+            (_, n) => PortSignature::Multi(n),
+        };
+        self.events.push(AttackEvent {
+            target: flow.victim,
+            when: TimeRange::new(flow.first, flow.last),
+            vector: AttackVector::RandomlySpoofed { proto, ports },
+            packets: flow.packets,
+            bytes: flow.bytes,
+            intensity_pps: max_pps,
+            distinct_sources: flow.distinct_sources(),
+        });
+        self.stats.events += 1;
+    }
+}
+
+/// Open per-honeypot event state (no wheel-bucket field).
+#[derive(Debug, Clone)]
+struct BaselinePotEvent {
+    first: SimTime,
+    last: SimTime,
+    requests: u64,
+    bytes: u64,
+}
+
+type OpenKey = (Ipv4Addr, ReflectionProtocol, HoneypotId);
+
+/// The per-source reply rate limiter with its pre-overhaul SipHash map.
+#[derive(Debug, Clone, Default)]
+struct BaselineLimiter {
+    current_minute: u64,
+    counts: HashMap<u32, u32>,
+}
+
+impl BaselineLimiter {
+    fn allow(&mut self, source: Ipv4Addr, minute: u64) -> bool {
+        if minute != self.current_minute {
+            self.counts.clear();
+            self.current_minute = minute;
+        }
+        let c = self.counts.entry(u32::from(source)).or_insert(0);
+        *c += 1;
+        *c < 3
+    }
+}
+
+/// The pre-overhaul honeypot fleet: SipHash open-event map, no hourly idle
+/// sweep (open events accumulate until the end of the trace or their own
+/// next request), default fleet parameters.
+pub struct BaselineFleet {
+    idle_timeout_secs: u64,
+    max_event_secs: u64,
+    min_requests: u64,
+    limiters: Vec<BaselineLimiter>,
+    open: HashMap<OpenKey, BaselinePotEvent>,
+    closed: Vec<(OpenKey, BaselinePotEvent)>,
+    stats: FleetStats,
+}
+
+impl BaselineFleet {
+    /// The standard 24-instance fleet with default parameters.
+    pub fn standard() -> BaselineFleet {
+        BaselineFleet {
+            idle_timeout_secs: 3_600,
+            max_event_secs: 86_400,
+            min_requests: 100,
+            limiters: vec![BaselineLimiter::default(); 24],
+            open: HashMap::new(),
+            closed: Vec::new(),
+            stats: FleetStats::default(),
+        }
+    }
+
+    /// Number of currently open per-honeypot events.
+    pub fn open_events(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Ingest one request batch (time-ordered), in the pre-overhaul
+    /// `Arc<Vec<u8>>` representation.
+    pub fn ingest(&mut self, batch: &BaselineRequestBatch) {
+        let Ok(ip) = Ipv4Packet::new_checked(batch.bytes.as_slice()) else {
+            self.stats.malformed += 1;
+            return;
+        };
+        if ip.protocol() != IpProtocol::Udp {
+            self.stats.unrecognised += 1;
+            return;
+        }
+        let Ok(udp) = UdpDatagram::new_checked(ip.payload()) else {
+            self.stats.malformed += 1;
+            return;
+        };
+        let Some(protocol) = reflect::classify_request(udp.dst_port(), udp.payload()) else {
+            self.stats.unrecognised += 1;
+            return;
+        };
+        let victim = ip.src();
+        self.stats.requests += batch.count as u64;
+
+        if let Some(limiter) = self.limiters.get_mut(batch.honeypot.0 as usize) {
+            if limiter.allow(victim, batch.ts.minute()) {
+                self.stats.replies_sent += 1;
+            }
+        }
+
+        let key = (victim, protocol, batch.honeypot);
+        let entry = self.open.entry(key).or_insert_with(|| BaselinePotEvent {
+            first: batch.ts,
+            last: batch.ts,
+            requests: 0,
+            bytes: 0,
+        });
+        let idle = batch.ts.secs() > entry.last.secs() + self.idle_timeout_secs;
+        let capped = batch.ts.secs() - entry.first.secs() >= self.max_event_secs;
+        if idle || capped {
+            let finished = std::mem::replace(
+                entry,
+                BaselinePotEvent {
+                    first: batch.ts,
+                    last: batch.ts,
+                    requests: 0,
+                    bytes: 0,
+                },
+            );
+            self.stats.pot_events += 1;
+            self.closed.push((key, finished));
+        }
+        let entry = self.open.get_mut(&key).expect("inserted above");
+        entry.last = entry.last.max(batch.ts);
+        entry.requests += batch.count as u64;
+        entry.bytes += batch.total_bytes();
+    }
+
+    /// End of trace: close everything, merge per-honeypot views per
+    /// (victim, protocol) and return attack events sorted by start time.
+    pub fn finish(mut self) -> (Vec<AttackEvent>, FleetStats) {
+        let open: Vec<(OpenKey, BaselinePotEvent)> = self.open.drain().collect();
+        self.stats.pot_events += open.len() as u64;
+        self.closed.extend(open);
+
+        let mut groups: HashMap<(Ipv4Addr, ReflectionProtocol), Vec<(HoneypotId, BaselinePotEvent)>> =
+            HashMap::new();
+        for ((victim, protocol, pot), e) in self.closed.drain(..) {
+            groups.entry((victim, protocol)).or_default().push((pot, e));
+        }
+
+        let mut events = Vec::new();
+        for ((victim, protocol), mut pots) in groups {
+            pots.sort_by_key(|(pot, e)| (e.first, *pot));
+            let mut iter = pots.into_iter();
+            let (_, first) = iter.next().expect("group non-empty");
+            let mut cur = Merged::from(first);
+            for (_, e) in iter {
+                let within_gap = e.first.secs() <= cur.last.secs() + self.idle_timeout_secs;
+                let within_cap =
+                    e.last.secs().max(cur.last.secs()) - cur.first.secs() < self.max_event_secs;
+                if within_gap && within_cap {
+                    cur.absorb(e);
+                } else {
+                    self.emit(&mut events, victim, protocol, cur);
+                    cur = Merged::from(e);
+                }
+            }
+            self.emit(&mut events, victim, protocol, cur);
+        }
+        events.sort_by_key(|e| (e.when.start, e.target, e.reflection_protocol()));
+        (events, self.stats)
+    }
+
+    fn emit(
+        &mut self,
+        out: &mut Vec<AttackEvent>,
+        victim: Ipv4Addr,
+        protocol: ReflectionProtocol,
+        merged: Merged,
+    ) {
+        if merged.requests <= self.min_requests {
+            self.stats.scan_filtered += 1;
+            return;
+        }
+        let duration = (merged.last.secs() - merged.first.secs()).max(1);
+        out.push(AttackEvent {
+            target: victim,
+            when: TimeRange::new(merged.first, merged.last),
+            vector: AttackVector::Reflection { protocol },
+            packets: merged.requests,
+            bytes: merged.bytes,
+            intensity_pps: merged.requests as f64 / duration as f64,
+            distinct_sources: merged.honeypots,
+        });
+        self.stats.events += 1;
+    }
+}
+
+struct Merged {
+    first: SimTime,
+    last: SimTime,
+    requests: u64,
+    bytes: u64,
+    honeypots: u32,
+}
+
+impl From<BaselinePotEvent> for Merged {
+    fn from(e: BaselinePotEvent) -> Merged {
+        Merged {
+            first: e.first,
+            last: e.last,
+            requests: e.requests,
+            bytes: e.bytes,
+            honeypots: 1,
+        }
+    }
+}
+
+impl Merged {
+    fn absorb(&mut self, e: BaselinePotEvent) {
+        self.first = self.first.min(e.first);
+        self.last = self.last.max(e.last);
+        self.requests += e.requests;
+        self.bytes += e.bytes;
+        self.honeypots += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dosscope_amppot::AmpPotFleet;
+    use dosscope_telescope::RsdosDetector;
+    use dosscope_wire::builder;
+
+    /// The baseline detector must emit exactly what the current one does
+    /// for a mixed workload with interval sweeps, or the recorded speedup
+    /// would compare different work.
+    #[test]
+    fn baseline_rsdos_matches_current() {
+        let mut cur = RsdosDetector::with_defaults(Telescope::default_slash8());
+        let mut base = BaselineRsdos::with_defaults(Telescope::default_slash8());
+        for s in 0..400u64 {
+            let v = Ipv4Addr::new(203, 0, 113, (s % 7) as u8);
+            let dark = Ipv4Addr::new(44, (s % 200) as u8, 1, 1);
+            let pkt = builder::tcp_syn_ack(v, 80, dark, 40_000, s as u32);
+            let b = PacketBatch::repeated(SimTime(s * 3), 2, pkt);
+            cur.ingest(&b);
+            base.ingest(&baseline_packets(std::slice::from_ref(&b))[0]);
+        }
+        cur.advance(SimTime(2_000));
+        base.advance(SimTime(2_000));
+        for s in 0..200u64 {
+            let v = Ipv4Addr::new(203, 0, 113, 99);
+            let pkt = builder::tcp_syn_ack(v, 443, Ipv4Addr::new(44, 9, 9, 9), 1, s as u32);
+            let b = PacketBatch::repeated(SimTime(3_000 + s), 1, pkt);
+            cur.ingest(&b);
+            base.ingest(&baseline_packets(std::slice::from_ref(&b))[0]);
+        }
+        let (ce, cs) = cur.finish();
+        let (be, bs) = base.finish();
+        assert_eq!(ce, be);
+        assert_eq!(cs, bs);
+    }
+
+    /// Same for the fleet: the baseline (no hourly sweep) must produce
+    /// identical merged events.
+    #[test]
+    fn baseline_fleet_matches_current() {
+        let mut cur = AmpPotFleet::standard();
+        let mut base = BaselineFleet::standard();
+        let pots: Vec<Ipv4Addr> = cur.honeypots().iter().map(|h| h.addr).collect();
+        for s in 0..500u64 {
+            let victim = Ipv4Addr::new(203, 0, 113, (s % 5) as u8);
+            let pot = (s % 4) as usize;
+            let pkt = builder::reflection_request(
+                victim,
+                40_000,
+                pots[pot],
+                ReflectionProtocol::Ntp,
+            );
+            // Spread over several hours so the current fleet's hourly
+            // sweep actually fires.
+            let b = RequestBatch::repeated(HoneypotId(pot as u8), SimTime(s * 40), 3, pkt);
+            cur.ingest(&b);
+            base.ingest(&baseline_requests(std::slice::from_ref(&b))[0]);
+        }
+        let (ce, cs) = cur.finish();
+        let (be, bs) = base.finish();
+        assert_eq!(ce, be);
+        assert_eq!(cs.requests, bs.requests);
+        assert_eq!(cs.replies_sent, bs.replies_sent);
+        assert_eq!(cs.pot_events, bs.pot_events);
+        assert_eq!(cs.events, bs.events);
+        assert_eq!(cs.scan_filtered, bs.scan_filtered);
+    }
+}

@@ -1,0 +1,578 @@
+//! End-to-end pipeline benchmark: times every stage of the scenario
+//! (world build, rendering, telescope detection, honeypot fleet, event
+//! fusion, report assembly) at 1, 2 and 8 measurement threads, plus a
+//! baseline lane that re-runs the single-threaded measurement stages
+//! through the pre-overhaul replicas ([`dosscope_bench::baseline`]) in the
+//! same process. Writes the machine-readable trajectory to
+//! `BENCH_pipeline.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! pipeline [--smoke] [--scale F] [--days N] [--out PATH] [--check PATH]
+//! ```
+//!
+//! `--smoke` runs the reduced test scale (for CI). `--check PATH` compares
+//! the freshly-measured baseline speedups against a committed
+//! `BENCH_pipeline.json` and exits non-zero when the file is malformed or
+//! any measured speedup regressed to less than half the committed value
+//! (speedups are in-run ratios, so the gate is machine-independent).
+
+use dosscope_amppot::{partition_requests, AmpPotFleet, RequestBatch, ShardedFleet};
+use dosscope_attackgen::config::Calibration;
+use dosscope_attackgen::{GenConfig, Generator, MigrationModel, Renderer};
+use dosscope_bench::baseline::{
+    baseline_packets, baseline_requests, BaselineFleet, BaselinePacketBatch,
+    BaselineRequestBatch, BaselineRsdos,
+};
+use dosscope_core::report::{Table1, Table2, Table3};
+use dosscope_core::{EventStore, Framework};
+use dosscope_dns::synth::{synthesize, SynthConfig};
+use dosscope_dps::DpsDataset;
+use dosscope_geo::{AsRegistry, RegistryConfig};
+use dosscope_telescope::{partition_batches, PacketBatch, RsdosDetector, ShardedRsdos, Telescope};
+use dosscope_types::{DayIndex, SimTime};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Thread counts every measurement stage is timed at.
+const THREADS: [usize; 3] = [1, 2, 8];
+
+/// Interval length the serial telescope driver uses (matches the harness).
+const INTERVAL_SECS: u64 = 60;
+
+/// Repetitions for the single-threaded lanes (current and baseline). The
+/// two lanes' reps are interleaved (see [`time_pair`]) and each records
+/// its minimum wall time, so the current-vs-baseline speedup is a
+/// warm-cache comparison with ambient machine noise landing on both
+/// lanes alike.
+const SERIAL_REPS: usize = 5;
+
+struct Stage {
+    name: &'static str,
+    threads: usize,
+    wall_secs: f64,
+    /// Batches processed by the stage (0 when not batch-shaped).
+    items: u64,
+    /// Peak working-set size (live flows / open events; 0 when unsampled).
+    peak: u64,
+}
+
+impl Stage {
+    fn items_per_sec(&self) -> f64 {
+        if self.items == 0 || self.wall_secs <= 0.0 {
+            0.0
+        } else {
+            self.items as f64 / self.wall_secs
+        }
+    }
+}
+
+struct Options {
+    scale: f64,
+    days: u32,
+    seed: u64,
+    out: String,
+    check: Option<String>,
+    smoke: bool,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        scale: 2_000.0,
+        days: 731,
+        seed: 0xD05C09E,
+        out: "BENCH_pipeline.json".to_string(),
+        check: None,
+        smoke: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} requires a value"))
+        };
+        match a.as_str() {
+            "--smoke" => {
+                opts.smoke = true;
+                opts.scale = 20_000.0;
+            }
+            "--scale" => opts.scale = value("--scale").parse().expect("--scale takes a float"),
+            "--days" => opts.days = value("--days").parse().expect("--days takes an integer"),
+            "--out" => opts.out = value("--out"),
+            "--check" => opts.check = Some(value("--check")),
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+    opts
+}
+
+fn main() {
+    let opts = parse_args();
+    let mut stages: Vec<Stage> = Vec::new();
+
+    // ---- Stage: world ---------------------------------------------------
+    let t0 = Instant::now();
+    let registry = AsRegistry::build(&RegistryConfig {
+        seed: opts.seed ^ 0x9E0,
+        ..RegistryConfig::default()
+    });
+    let geo = registry.build_geodb();
+    let asdb = registry.build_asdb();
+    let total_sites =
+        ((dosscope_attackgen::config::paper::WEB_SITES / opts.scale).round() as u32).max(500);
+    let mut synth = synthesize(
+        &SynthConfig {
+            seed: opts.seed ^ 0xD45,
+            total_sites,
+            days: opts.days,
+            ..SynthConfig::default()
+        },
+        &registry,
+    );
+    let gen_config = GenConfig {
+        seed: opts.seed ^ 0xA77,
+        days: opts.days,
+        scale: opts.scale,
+        ..GenConfig::default()
+    };
+    let cal = Calibration::default();
+    let truth =
+        Generator::new(gen_config.clone(), Calibration::default(), &registry, &synth).generate();
+    let _migrations = MigrationModel::apply(&gen_config, &cal, &truth, &mut synth);
+    let dps = DpsDataset::infer(&synth.zone, &synth.catalog, &asdb);
+    stages.push(Stage {
+        name: "world",
+        threads: 1,
+        wall_secs: t0.elapsed().as_secs_f64(),
+        items: 0,
+        peak: 0,
+    });
+
+    // ---- Stage: render --------------------------------------------------
+    let telescope = Telescope::default_slash8();
+    let pot_addrs: Vec<std::net::Ipv4Addr> = AmpPotFleet::standard()
+        .honeypots()
+        .iter()
+        .map(|h| h.addr)
+        .collect();
+    let renderer = Renderer::new(&truth, telescope, pot_addrs, opts.seed ^ 0x8E4, opts.days);
+    let t0 = Instant::now();
+    let days_data: Vec<(Vec<PacketBatch>, Vec<RequestBatch>)> = (0..opts.days)
+        .map(|d| {
+            let day = DayIndex(d);
+            (renderer.telescope_day(day), renderer.honeypot_day(day))
+        })
+        .collect();
+    let render_secs = t0.elapsed().as_secs_f64();
+    let tele_batches: u64 = days_data.iter().map(|(t, _)| t.len() as u64).sum();
+    let hp_batches: u64 = days_data.iter().map(|(_, h)| h.len() as u64).sum();
+    stages.push(Stage {
+        name: "render",
+        threads: 1,
+        wall_secs: render_secs,
+        items: tele_batches + hp_batches,
+        peak: 0,
+    });
+
+    // ---- Serial measurement lanes: current vs pre-overhaul baseline -----
+    // The baseline replicas consume the pre-overhaul `Arc<Vec<u8>>` batch
+    // layout; the conversion happens outside the timed region because it
+    // is an artifact of keeping both implementations in one process, not
+    // work the old pipeline ever did.
+    let base_tele_days: Vec<Vec<BaselinePacketBatch>> =
+        days_data.iter().map(|(t, _)| baseline_packets(t)).collect();
+    let (
+        ((serial_tele, tele1_peak), tele1_secs),
+        ((base_tele_events, base_tele_peak), base_tele_secs),
+    ) = time_pair(
+        SERIAL_REPS,
+        || {
+            let mut detector = RsdosDetector::with_defaults(telescope);
+            let mut interval: Option<u64> = None;
+            let mut peak = 0usize;
+            for (tele, _) in &days_data {
+                for b in tele {
+                    let iv = b.ts.secs() / INTERVAL_SECS;
+                    match interval {
+                        None => interval = Some(iv),
+                        Some(cur) if iv > cur => {
+                            detector.advance(SimTime(iv * INTERVAL_SECS));
+                            interval = Some(iv);
+                        }
+                        _ => {}
+                    }
+                    detector.ingest(b);
+                }
+                peak = peak.max(detector.live_flows());
+            }
+            let (events, _) = detector.finish();
+            (events, peak)
+        },
+        || {
+            let mut detector = BaselineRsdos::with_defaults(telescope);
+            let mut interval: Option<u64> = None;
+            let mut peak = 0usize;
+            for tele in &base_tele_days {
+                for b in tele {
+                    let iv = b.ts.secs() / INTERVAL_SECS;
+                    match interval {
+                        None => interval = Some(iv),
+                        Some(cur) if iv > cur => {
+                            detector.advance(SimTime(iv * INTERVAL_SECS));
+                            interval = Some(iv);
+                        }
+                        _ => {}
+                    }
+                    detector.ingest(b);
+                }
+                peak = peak.max(detector.live_flows());
+            }
+            let (events, _) = detector.finish();
+            (events, peak)
+        },
+    );
+    drop(base_tele_days);
+
+    let base_hp_days: Vec<Vec<BaselineRequestBatch>> =
+        days_data.iter().map(|(_, h)| baseline_requests(h)).collect();
+    let (
+        ((serial_hp, fleet1_peak), fleet1_secs),
+        ((base_hp_events, base_fleet_peak), base_fleet_secs),
+    ) = time_pair(
+        SERIAL_REPS,
+        || {
+            let mut fleet = AmpPotFleet::standard();
+            let mut peak = 0usize;
+            for (_, hp) in &days_data {
+                for b in hp {
+                    fleet.ingest(b);
+                }
+                peak = peak.max(fleet.open_events());
+            }
+            let (events, _) = fleet.finish();
+            (events, peak)
+        },
+        || {
+            let mut fleet = BaselineFleet::standard();
+            let mut peak = 0usize;
+            for hp in &base_hp_days {
+                for b in hp {
+                    fleet.ingest(b);
+                }
+                peak = peak.max(fleet.open_events());
+            }
+            let (events, _) = fleet.finish();
+            (events, peak)
+        },
+    );
+    drop(base_hp_days);
+
+    // ---- Measurement stages at each thread count ------------------------
+    for &threads in &THREADS {
+        // Telescope detection.
+        let (tele_events, tele_secs, tele_peak) = if threads == 1 {
+            (serial_tele.clone(), tele1_secs, tele1_peak as u64)
+        } else {
+            let lane: Vec<Vec<PacketBatch>> =
+                days_data.iter().map(|(t, _)| t.clone()).collect();
+            let mut rsdos = ShardedRsdos::with_defaults(telescope, threads);
+            let t0 = Instant::now();
+            for day in lane {
+                let parts = partition_batches(day, threads);
+                rsdos.ingest_partitioned(&parts);
+            }
+            let (events, _) = rsdos.finish();
+            (events, t0.elapsed().as_secs_f64(), 0)
+        };
+        stages.push(Stage {
+            name: "telescope",
+            threads,
+            wall_secs: tele_secs,
+            items: tele_batches,
+            peak: tele_peak,
+        });
+
+        // Honeypot fleet.
+        let (hp_events, fleet_secs, fleet_peak) = if threads == 1 {
+            (serial_hp.clone(), fleet1_secs, fleet1_peak as u64)
+        } else {
+            let lane: Vec<Vec<RequestBatch>> =
+                days_data.iter().map(|(_, h)| h.clone()).collect();
+            let mut fleet = ShardedFleet::standard(threads);
+            let t0 = Instant::now();
+            for day in lane {
+                let parts = partition_requests(day, threads);
+                fleet.ingest_partitioned(&parts);
+            }
+            let (events, _) = fleet.finish();
+            (events, t0.elapsed().as_secs_f64(), 0)
+        };
+        stages.push(Stage {
+            name: "fleet",
+            threads,
+            wall_secs: fleet_secs,
+            items: hp_batches,
+            peak: fleet_peak,
+        });
+
+        // Event fusion into the store.
+        let t0 = Instant::now();
+        let mut store = EventStore::new();
+        store.ingest_telescope(tele_events.clone());
+        store.ingest_honeypot(hp_events.clone());
+        let combined = store.summary_combined();
+        let common = store.common_targets();
+        stages.push(Stage {
+            name: "fusion",
+            threads,
+            wall_secs: t0.elapsed().as_secs_f64(),
+            items: combined.events,
+            peak: common,
+        });
+
+        // Report assembly over the fused store.
+        let t0 = Instant::now();
+        let fw = Framework::new(&store, &geo, &asdb, opts.days)
+            .with_dns(&synth.zone, &synth.catalog)
+            .with_dps(&dps);
+        let t1 = Table1::build(&fw);
+        let t2 = Table2::build(&fw);
+        let t3 = Table3::build(&fw);
+        let report_items =
+            t1.rows.len() as u64 + t2.is_some() as u64 + t3.is_some() as u64;
+        stages.push(Stage {
+            name: "report",
+            threads,
+            wall_secs: t0.elapsed().as_secs_f64(),
+            items: report_items,
+            peak: 0,
+        });
+
+        if threads > 1 {
+            // Sharding must not change the output (also covered by the
+            // harness tests; cheap cross-check here).
+            assert_eq!(
+                serial_tele.len(),
+                tele_events.len(),
+                "sharded telescope diverged"
+            );
+            assert_eq!(serial_hp.len(), hp_events.len(), "sharded fleet diverged");
+        }
+    }
+
+    // ---- Baseline stage records (timed in the serial lanes above) -------
+    stages.push(Stage {
+        name: "telescope_baseline",
+        threads: 1,
+        wall_secs: base_tele_secs,
+        items: tele_batches,
+        peak: base_tele_peak as u64,
+    });
+    stages.push(Stage {
+        name: "fleet_baseline",
+        threads: 1,
+        wall_secs: base_fleet_secs,
+        items: hp_batches,
+        peak: base_fleet_peak as u64,
+    });
+
+    // The speedup is only meaningful if both lanes did the same work.
+    assert_eq!(
+        serial_tele, base_tele_events,
+        "baseline telescope lane produced different events"
+    );
+    assert_eq!(
+        serial_hp, base_hp_events,
+        "baseline fleet lane produced different events"
+    );
+
+    let speedup_tele = ratio(base_tele_secs, tele1_secs);
+    let speedup_fleet = ratio(base_fleet_secs, fleet1_secs);
+    let speedup_measurement = ratio(base_tele_secs + base_fleet_secs, tele1_secs + fleet1_secs);
+
+    // ---- Emit JSON ------------------------------------------------------
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"schema\": \"dosscope-bench-pipeline-v1\",");
+    let _ = writeln!(json, "  \"scale\": {},", opts.scale);
+    let _ = writeln!(json, "  \"days\": {},", opts.days);
+    let _ = writeln!(json, "  \"smoke\": {},", opts.smoke);
+    let _ = writeln!(json, "  \"threads\": [1, 2, 8],");
+    json.push_str("  \"stages\": [\n");
+    for (i, s) in stages.iter().enumerate() {
+        let sep = if i + 1 == stages.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"threads\": {}, \"wall_secs\": {:.6}, \"items\": {}, \"items_per_sec\": {:.1}, \"peak\": {}}}{}",
+            s.name, s.threads, s.wall_secs, s.items, s.items_per_sec(), s.peak, sep
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"speedup\": {{\"telescope\": {:.3}, \"fleet\": {:.3}, \"measurement\": {:.3}}},",
+        speedup_tele, speedup_fleet, speedup_measurement
+    );
+    let _ = writeln!(
+        json,
+        "  \"events\": {{\"telescope\": {}, \"honeypot\": {}}}",
+        serial_tele.len(),
+        serial_hp.len()
+    );
+    json.push_str("}\n");
+    std::fs::write(&opts.out, &json).expect("write bench output");
+
+    println!("wrote {}", opts.out);
+    for s in &stages {
+        println!(
+            "  {:<20} threads={} {:>9.3}s  {:>12.0} items/s  peak={}",
+            s.name,
+            s.threads,
+            s.wall_secs,
+            s.items_per_sec(),
+            s.peak
+        );
+    }
+    println!(
+        "  speedup vs pre-overhaul baseline: telescope {speedup_tele:.2}x, fleet {speedup_fleet:.2}x, measurement {speedup_measurement:.2}x"
+    );
+
+    // ---- Optional regression gate ---------------------------------------
+    if let Some(path) = &opts.check {
+        let committed = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+        let c = parse_committed(&committed)
+            .unwrap_or_else(|e| fail(&format!("{path} is malformed: {e}")));
+        let gates = [
+            ("telescope", c.speedup_tele, speedup_tele),
+            ("fleet", c.speedup_fleet, speedup_fleet),
+            ("measurement", c.speedup_measurement, speedup_measurement),
+        ];
+        for (name, committed_x, current_x) in gates {
+            if current_x < committed_x / 2.0 {
+                fail(&format!(
+                    "{name} speedup regressed more than 2x: committed {committed_x:.2}x, current {current_x:.2}x"
+                ));
+            }
+        }
+        println!("  check against {path}: ok");
+    }
+}
+
+/// Run two implementations of the same stage `reps` times each, with the
+/// reps interleaved A, B, A, B, … so ambient machine noise (scheduler,
+/// frequency scaling, co-tenants) lands on both alike rather than on
+/// whichever lane happened to run during the bad stretch. Returns each
+/// side's (first) result with its minimum wall time.
+fn time_pair<A, B>(
+    reps: usize,
+    mut a: impl FnMut() -> A,
+    mut b: impl FnMut() -> B,
+) -> ((A, f64), (B, f64)) {
+    let (mut out_a, mut best_a) = (None, f64::INFINITY);
+    let (mut out_b, mut best_b) = (None, f64::INFINITY);
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        let r = a();
+        best_a = best_a.min(t0.elapsed().as_secs_f64());
+        out_a.get_or_insert(r);
+        let t0 = Instant::now();
+        let r = b();
+        best_b = best_b.min(t0.elapsed().as_secs_f64());
+        out_b.get_or_insert(r);
+    }
+    (
+        (out_a.expect("at least one rep"), best_a),
+        (out_b.expect("at least one rep"), best_b),
+    )
+}
+
+fn ratio(num: f64, den: f64) -> f64 {
+    if den <= 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("pipeline bench check FAILED: {msg}");
+    std::process::exit(1);
+}
+
+/// What the checker needs from a committed `BENCH_pipeline.json`.
+struct Committed {
+    speedup_tele: f64,
+    speedup_fleet: f64,
+    speedup_measurement: f64,
+}
+
+/// Minimal structural validation + value extraction for the writer's own
+/// one-stage-per-line format. Not a general JSON parser on purpose: the
+/// file is produced by this binary, and a format drift should fail loudly.
+fn parse_committed(text: &str) -> Result<Committed, String> {
+    if !text.contains("\"schema\": \"dosscope-bench-pipeline-v1\"") {
+        return Err("missing or unknown schema marker".to_string());
+    }
+    // Every (stage, threads) pair must be present with a finite wall time.
+    let mut required: Vec<(String, usize)> = vec![
+        ("world".to_string(), 1),
+        ("render".to_string(), 1),
+        ("telescope_baseline".to_string(), 1),
+        ("fleet_baseline".to_string(), 1),
+    ];
+    for t in THREADS {
+        for name in ["telescope", "fleet", "fusion", "report"] {
+            required.push((name.to_string(), t));
+        }
+    }
+    for line in text.lines() {
+        let Some(name) = extract_str(line, "name") else {
+            continue;
+        };
+        let threads = extract_num(line, "threads")
+            .ok_or_else(|| format!("stage {name} has no threads field"))?
+            as usize;
+        let wall = extract_num(line, "wall_secs")
+            .ok_or_else(|| format!("stage {name} has no wall_secs field"))?;
+        if !wall.is_finite() || wall < 0.0 {
+            return Err(format!("stage {name} has invalid wall_secs {wall}"));
+        }
+        required.retain(|(n, t)| !(*n == name && *t == threads));
+    }
+    if !required.is_empty() {
+        return Err(format!("missing stages: {required:?}"));
+    }
+    let speedup_line = text
+        .lines()
+        .find(|l| l.contains("\"speedup\""))
+        .ok_or("missing speedup record")?;
+    let get = |key: &str| {
+        extract_num(speedup_line, key).ok_or_else(|| format!("speedup record lacks {key}"))
+    };
+    Ok(Committed {
+        speedup_tele: get("telescope")?,
+        speedup_fleet: get("fleet")?,
+        speedup_measurement: get("measurement")?,
+    })
+}
+
+/// Extract `"key": "value"` from a single line.
+fn extract_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let marker = format!("\"{key}\": \"");
+    let start = line.find(&marker)? + marker.len();
+    let end = line[start..].find('"')? + start;
+    Some(&line[start..end])
+}
+
+/// Extract `"key": <number>` from a single line.
+fn extract_num(line: &str, key: &str) -> Option<f64> {
+    let marker = format!("\"{key}\": ");
+    let start = line.find(&marker)? + marker.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}

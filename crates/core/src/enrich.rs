@@ -2,9 +2,8 @@
 //! paper applies to every attack target (Section 3.1.3).
 
 use dosscope_geo::{AsDb, GeoDb};
-use dosscope_types::{Asn, AttackEvent, CountryCode, Prefix16, Prefix24};
+use dosscope_types::{Asn, AttackEvent, CountryCode, FastMap, Prefix16, Prefix24};
 use parking_lot::Mutex;
-use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 /// An event with its target metadata attached.
@@ -27,7 +26,7 @@ pub struct EnrichedEvent<'a> {
 pub struct Enricher<'a> {
     geo: &'a GeoDb,
     asdb: &'a AsDb,
-    cache: Mutex<HashMap<Ipv4Addr, (CountryCode, Option<Asn>)>>,
+    cache: Mutex<FastMap<Ipv4Addr, (CountryCode, Option<Asn>)>>,
 }
 
 impl<'a> Enricher<'a> {
@@ -36,7 +35,7 @@ impl<'a> Enricher<'a> {
         Enricher {
             geo,
             asdb,
-            cache: Mutex::new(HashMap::new()),
+            cache: Mutex::new(FastMap::default()),
         }
     }
 

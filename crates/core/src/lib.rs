@@ -62,8 +62,10 @@ use dosscope_types::DayIndex;
 /// The assembled framework: events plus every side data set the analyses
 /// join against.
 pub struct Framework<'a> {
-    /// Ingested events (both sources).
-    pub store: EventStore,
+    /// Ingested events (both sources), borrowed: assembling a framework
+    /// never copies the event lists, so it is free to build one per
+    /// analysis over the same store.
+    pub store: &'a EventStore,
     /// Geolocation database.
     pub geo: &'a GeoDb,
     /// Prefix-to-AS database.
@@ -80,7 +82,7 @@ pub struct Framework<'a> {
 
 impl<'a> Framework<'a> {
     /// Assemble a framework over ingested events and metadata.
-    pub fn new(store: EventStore, geo: &'a GeoDb, asdb: &'a AsDb, days: u32) -> Framework<'a> {
+    pub fn new(store: &'a EventStore, geo: &'a GeoDb, asdb: &'a AsDb, days: u32) -> Framework<'a> {
         Framework {
             store,
             geo,

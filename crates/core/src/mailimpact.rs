@@ -220,7 +220,7 @@ mod tests {
         let w = world();
         let mut store = EventStore::new();
         store.ingest_telescope(vec![tele("10.9.9.9", 3)]);
-        let fw = Framework::new(store, &w.geo, &w.asdb, 30).with_dns(&w.zone, &w.catalog);
+        let fw = Framework::new(&store, &w.geo, &w.asdb, 30).with_dns(&w.zone, &w.catalog);
         let impact = InfrastructureImpact::analyze(&fw).expect("dns attached");
         assert_eq!(impact.mail.events, 1);
         assert_eq!(impact.mail.targeted_ips, 1);
@@ -237,7 +237,7 @@ mod tests {
         let w = world();
         let mut store = EventStore::new();
         store.ingest_telescope(vec![tele("10.9.9.10", 7)]);
-        let fw = Framework::new(store, &w.geo, &w.asdb, 30).with_dns(&w.zone, &w.catalog);
+        let fw = Framework::new(&store, &w.geo, &w.asdb, 30).with_dns(&w.zone, &w.catalog);
         let impact = InfrastructureImpact::analyze(&fw).unwrap();
         assert_eq!(impact.dns.events, 1);
         assert_eq!(impact.dns.affected_domains, 5);
@@ -249,7 +249,7 @@ mod tests {
         let w = world();
         let mut store = EventStore::new();
         store.ingest_telescope(vec![tele("10.0.0.1", 3)]); // a hosting IP
-        let fw = Framework::new(store, &w.geo, &w.asdb, 30).with_dns(&w.zone, &w.catalog);
+        let fw = Framework::new(&store, &w.geo, &w.asdb, 30).with_dns(&w.zone, &w.catalog);
         let impact = InfrastructureImpact::analyze(&fw).unwrap();
         assert_eq!(impact.mail.events + impact.dns.events, 0);
     }
@@ -259,7 +259,7 @@ mod tests {
         let w = world();
         let mut store = EventStore::new();
         store.ingest_telescope(vec![tele("10.9.9.9", 3)]);
-        let fw = Framework::new(store, &w.geo, &w.asdb, 30).with_dns(&w.zone, &w.catalog);
+        let fw = Framework::new(&store, &w.geo, &w.asdb, 30).with_dns(&w.zone, &w.catalog);
         let impact = InfrastructureImpact::analyze(&fw).unwrap();
         let text = impact.render();
         assert!(text.contains("MailHost"));
@@ -269,7 +269,8 @@ mod tests {
     #[test]
     fn requires_dns_data() {
         let w = world();
-        let fw = Framework::new(EventStore::new(), &w.geo, &w.asdb, 30);
+        let store = EventStore::new();
+        let fw = Framework::new(&store, &w.geo, &w.asdb, 30);
         assert!(InfrastructureImpact::analyze(&fw).is_none());
     }
 }

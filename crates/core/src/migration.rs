@@ -240,7 +240,7 @@ mod tests {
     use dosscope_dps::DpsDataset;
     use dosscope_geo::{AsDb, GeoDb};
     use dosscope_types::TimeSeries;
-    use std::collections::HashMap;
+    use dosscope_types::FastMap;
 
     /// A hand-built world: 4 sites — one preexisting DPS customer, one
     /// that migrates after an attack, one attacked non-migrating, one
@@ -311,7 +311,7 @@ mod tests {
         }
     }
 
-    fn web_impact_with(records: HashMap<dosscope_dns::DomainId, SiteAttackRecord>) -> WebImpact {
+    fn web_impact_with(records: FastMap<dosscope_dns::DomainId, SiteAttackRecord>) -> WebImpact {
         let store = EventStore::new();
         WebImpact {
             affected_total: records.len() as u64,
@@ -349,7 +349,7 @@ mod tests {
     fn taxonomy_classification() {
         let w = world();
         let dps = DpsDataset::infer(&w.zone, &w.catalog, &w.asdb);
-        let mut records = HashMap::new();
+        let mut records = FastMap::default();
         // Sites 0, 1, 2 attacked (d0 preexisting, d1 migrates day 20 after
         // attack day 10, d2 non-migrating).
         records.insert(dosscope_dns::DomainId(0), record(1, 10, 0.5, 10, None));
@@ -358,7 +358,7 @@ mod tests {
         let web = web_impact_with(records);
 
         let store = EventStore::new();
-        let fw = Framework::new(store, &w.geo, &w.asdb, 100)
+        let fw = Framework::new(&store, &w.geo, &w.asdb, 100)
             .with_dns(&w.zone, &w.catalog)
             .with_dps(&dps);
         let m = MigrationAnalysis::analyze(&fw, &web).expect("data sets attached");
@@ -377,13 +377,13 @@ mod tests {
     fn delays_measured_from_best_attack() {
         let w = world();
         let dps = DpsDataset::infer(&w.zone, &w.catalog, &w.asdb);
-        let mut records = HashMap::new();
+        let mut records = FastMap::default();
         // d1 migrates day 20; most intense attack day 12 => delay 8 days;
         // its ≥4 h attack also day 12 => long4h delay 8.
         records.insert(dosscope_dns::DomainId(1), record(2, 10, 0.9, 12, Some(12)));
         let web = web_impact_with(records);
         let store = EventStore::new();
-        let fw = Framework::new(store, &w.geo, &w.asdb, 100)
+        let fw = Framework::new(&store, &w.geo, &w.asdb, 100)
             .with_dns(&w.zone, &w.catalog)
             .with_dps(&dps);
         let m = MigrationAnalysis::analyze(&fw, &web).unwrap();
@@ -396,12 +396,12 @@ mod tests {
     fn frequency_cdfs_split_population() {
         let w = world();
         let dps = DpsDataset::infer(&w.zone, &w.catalog, &w.asdb);
-        let mut records = HashMap::new();
+        let mut records = FastMap::default();
         records.insert(dosscope_dns::DomainId(1), record(1, 10, 0.9, 12, None)); // migrating
         records.insert(dosscope_dns::DomainId(2), record(9, 10, 0.5, 10, None)); // not
         let web = web_impact_with(records);
         let store = EventStore::new();
-        let fw = Framework::new(store, &w.geo, &w.asdb, 100)
+        let fw = Framework::new(&store, &w.geo, &w.asdb, 100)
             .with_dns(&w.zone, &w.catalog)
             .with_dps(&dps);
         let m = MigrationAnalysis::analyze(&fw, &web).unwrap();
@@ -417,12 +417,12 @@ mod tests {
     fn table9_thresholds() {
         let w = world();
         let dps = DpsDataset::infer(&w.zone, &w.catalog, &w.asdb);
-        let mut records = HashMap::new();
+        let mut records = FastMap::default();
         records.insert(dosscope_dns::DomainId(1), record(1, 10, 0.03, 10, None));
         records.insert(dosscope_dns::DomainId(2), record(1, 10, 0.60, 10, None));
         let web = web_impact_with(records);
         let store = EventStore::new();
-        let fw = Framework::new(store, &w.geo, &w.asdb, 100)
+        let fw = Framework::new(&store, &w.geo, &w.asdb, 100)
             .with_dns(&w.zone, &w.catalog)
             .with_dps(&dps);
         let m = MigrationAnalysis::analyze(&fw, &web).unwrap();
@@ -436,8 +436,8 @@ mod tests {
     fn requires_dns_and_dps() {
         let w = world();
         let store = EventStore::new();
-        let fw = Framework::new(store, &w.geo, &w.asdb, 100).with_dns(&w.zone, &w.catalog);
-        let web = web_impact_with(HashMap::new());
+        let fw = Framework::new(&store, &w.geo, &w.asdb, 100).with_dns(&w.zone, &w.catalog);
+        let web = web_impact_with(FastMap::default());
         assert!(MigrationAnalysis::analyze(&fw, &web).is_none());
     }
 }

@@ -679,7 +679,8 @@ mod tests {
     #[test]
     fn table1_counts() {
         let (geo, asdb) = dbs();
-        let fw = Framework::new(store(), &geo, &asdb, 10);
+        let store = store();
+        let fw = Framework::new(&store, &geo, &asdb, 10);
         let t1 = Table1::build(&fw);
         assert_eq!(t1.rows[0].summary.events, 5);
         assert_eq!(t1.rows[1].summary.events, 3);
@@ -692,7 +693,8 @@ mod tests {
     #[test]
     fn table4_ranking() {
         let (geo, asdb) = dbs();
-        let fw = Framework::new(store(), &geo, &asdb, 10);
+        let store = store();
+        let fw = Framework::new(&store, &geo, &asdb, 10);
         let t4 = Table4::build(&fw);
         assert_eq!(t4.telescope[0].0, "US");
         assert_eq!(t4.telescope[0].1, 3);
@@ -706,7 +708,8 @@ mod tests {
     #[test]
     fn table5_shares() {
         let (geo, asdb) = dbs();
-        let fw = Framework::new(store(), &geo, &asdb, 10);
+        let store = store();
+        let fw = Framework::new(&store, &geo, &asdb, 10);
         let t5 = Table5::build(&fw);
         assert_eq!(t5.counts, [3, 1, 1, 0]);
         assert!((t5.shares[0] - 60.0).abs() < 1e-9);
@@ -715,7 +718,8 @@ mod tests {
     #[test]
     fn table6_top5() {
         let (geo, asdb) = dbs();
-        let fw = Framework::new(store(), &geo, &asdb, 10);
+        let store = store();
+        let fw = Framework::new(&store, &geo, &asdb, 10);
         let t6 = Table6::build(&fw);
         assert_eq!(t6.rows[0].0, "NTP");
         assert_eq!(t6.rows[0].1, 2);
@@ -725,7 +729,8 @@ mod tests {
     #[test]
     fn table7_port_cardinality() {
         let (geo, asdb) = dbs();
-        let fw = Framework::new(store(), &geo, &asdb, 10);
+        let store = store();
+        let fw = Framework::new(&store, &geo, &asdb, 10);
         let t7 = Table7::build(&fw);
         // 3 single + 1 none (counted single) vs 1 multi.
         assert_eq!(t7.single, 4);
@@ -736,7 +741,8 @@ mod tests {
     #[test]
     fn table8_services() {
         let (geo, asdb) = dbs();
-        let fw = Framework::new(store(), &geo, &asdb, 10);
+        let store = store();
+        let fw = Framework::new(&store, &geo, &asdb, 10);
         let t8 = Table8::build(&fw);
         let names: Vec<&str> = t8.tcp.iter().map(|(n, _, _)| n.as_str()).collect();
         assert!(names.contains(&"HTTP"));
@@ -748,7 +754,8 @@ mod tests {
     #[test]
     fn figures_build() {
         let (geo, asdb) = dbs();
-        let fw = Framework::new(store(), &geo, &asdb, 10);
+        let store = store();
+        let fw = Framework::new(&store, &geo, &asdb, 10);
         let f1 = Figure1::build(&fw);
         assert_eq!(f1.combined.attacks.get(dosscope_types::DayIndex(0)), 8.0);
         let f2 = DistributionFigure::durations(&fw, EventSource::Telescope);

@@ -1,7 +1,6 @@
 //! Event ingestion and the per-source aggregates of Table 1.
 
-use dosscope_types::{AttackEvent, EventSource, Prefix16, Prefix24};
-use std::collections::HashSet;
+use dosscope_types::{AttackEvent, EventSource, FastSet, Prefix16, Prefix24};
 use std::net::Ipv4Addr;
 
 /// Aggregate counts for one source (a row of Table 1). ASN counting needs
@@ -82,9 +81,9 @@ impl EventStore {
 
     /// Per-source aggregates over an arbitrary event set.
     pub fn summarize<'a>(events: impl Iterator<Item = &'a AttackEvent>) -> SourceSummary {
-        let mut targets: HashSet<Ipv4Addr> = HashSet::new();
-        let mut blocks24: HashSet<Prefix24> = HashSet::new();
-        let mut blocks16: HashSet<Prefix16> = HashSet::new();
+        let mut targets: FastSet<Ipv4Addr> = FastSet::default();
+        let mut blocks24: FastSet<Prefix24> = FastSet::default();
+        let mut blocks16: FastSet<Prefix16> = FastSet::default();
         let mut n = 0u64;
         for e in events {
             n += 1;
@@ -112,11 +111,11 @@ impl EventStore {
 
     /// Unique targets common to both sources (the paper's 282 k).
     pub fn common_targets(&self) -> u64 {
-        let t: HashSet<Ipv4Addr> = self.telescope.iter().map(|e| e.target).collect();
+        let t: FastSet<Ipv4Addr> = self.telescope.iter().map(|e| e.target).collect();
         self.honeypot
             .iter()
             .map(|e| e.target)
-            .collect::<HashSet<_>>()
+            .collect::<FastSet<_>>()
             .intersection(&t)
             .count() as u64
     }

@@ -11,10 +11,10 @@
 use crate::Framework;
 use dosscope_dns::DomainId;
 use dosscope_types::{
-    AttackEvent, DayIndex, EventSource, LogHistogram, PortSignature, ReflectionProtocol,
-    TimeSeries, TransportProto,
+    AttackEvent, DayIndex, EventSource, FastMap, FastSet, LogHistogram, PortSignature,
+    ReflectionProtocol, TimeSeries, TransportProto,
 };
-use std::collections::{HashMap, HashSet};
+
 use std::net::Ipv4Addr;
 
 /// Per-site attack history, the input to the migration analyses.
@@ -109,7 +109,7 @@ pub struct WebImpact {
     /// size (the paper traces its maximum to an IP routed by DOSarrest).
     pub biggest_cohost: Option<(Ipv4Addr, u64)>,
     /// Per-site attack records for the migration analyses.
-    pub site_records: HashMap<DomainId, SiteAttackRecord>,
+    pub site_records: FastMap<DomainId, SiteAttackRecord>,
     /// TCP share among telescope events on Web-hosting IPs (93.4 %).
     pub web_tcp_share: f64,
     /// Web-port share among single-port TCP telescope events on
@@ -127,17 +127,17 @@ impl WebImpact {
     pub fn analyze(fw: &Framework<'_>) -> Option<WebImpact> {
         let zone = fw.zone?;
         let days = fw.days;
-        let normalizer = IntensityNormalizer::fit(&fw.store);
+        let normalizer = IntensityNormalizer::fit(fw.store);
         let tele_cutoff = crate::timeseries::mean_intensity(fw.store.telescope().iter());
         let hp_cutoff = crate::timeseries::mean_intensity(fw.store.honeypot().iter());
 
-        let mut daily: Vec<HashSet<u32>> = vec![HashSet::new(); days as usize];
-        let mut daily_medium: Vec<HashSet<u32>> = vec![HashSet::new(); days as usize];
-        let mut affected: HashSet<u32> = HashSet::new();
-        let mut records: HashMap<DomainId, SiteAttackRecord> = HashMap::new();
-        let mut target_ips: HashSet<Ipv4Addr> = HashSet::new();
-        let mut web_ips: HashSet<Ipv4Addr> = HashSet::new();
-        let mut first_seen_ip: HashMap<Ipv4Addr, usize> = HashMap::new();
+        let mut daily: Vec<FastSet<u32>> = vec![FastSet::default(); days as usize];
+        let mut daily_medium: Vec<FastSet<u32>> = vec![FastSet::default(); days as usize];
+        let mut affected: FastSet<u32> = FastSet::default();
+        let mut records: FastMap<DomainId, SiteAttackRecord> = FastMap::default();
+        let mut target_ips: FastSet<Ipv4Addr> = FastSet::default();
+        let mut web_ips: FastSet<Ipv4Addr> = FastSet::default();
+        let mut first_seen_ip: FastMap<Ipv4Addr, usize> = FastMap::default();
         let mut cohosting = LogHistogram::new(7);
         let mut cohosting_by_tld = [
             (dosscope_dns::Tld::Com, LogHistogram::new(7)),
@@ -235,7 +235,7 @@ impl WebImpact {
             }
         }
 
-        let to_series = |sets: Vec<HashSet<u32>>| {
+        let to_series = |sets: Vec<FastSet<u32>>| {
             let mut ts = TimeSeries::zeros(days);
             for (i, s) in sets.into_iter().enumerate() {
                 ts.set(DayIndex(i as u32), s.len() as f64);
@@ -301,8 +301,8 @@ pub fn parties_on_day(fw: &Framework<'_>, day: DayIndex) -> Vec<(String, u64)> {
     let (Some(zone), Some(catalog)) = (fw.zone, fw.catalog) else {
         return Vec::new();
     };
-    let mut counts: HashMap<String, u64> = HashMap::new();
-    let mut seen_ip: HashSet<Ipv4Addr> = HashSet::new();
+    let mut counts: FastMap<String, u64> = FastMap::default();
+    let mut seen_ip: FastSet<Ipv4Addr> = FastSet::default();
     for e in fw.store.all() {
         if e.when.start.day() != day || !seen_ip.insert(e.target) {
             continue;
@@ -399,7 +399,7 @@ mod tests {
         )
     }
 
-    fn framework<'a>(w: &'a World, store: EventStore) -> Framework<'a> {
+    fn framework<'a>(w: &'a World, store: &'a EventStore) -> Framework<'a> {
         Framework::new(store, &w.geo, &w.asdb, 30).with_dns(&w.zone, &w.catalog)
     }
 
@@ -412,7 +412,7 @@ mod tests {
             tele("10.0.0.9", 4, 1.0, 80), // hits nothing
         ]);
         store.ingest_honeypot(vec![hp("10.0.0.2", 5, 5 * 3600, ReflectionProtocol::Ntp)]);
-        let fw = framework(&w, store);
+        let fw = framework(&w, &store);
         let wi = WebImpact::analyze(&fw).expect("zone attached");
         assert_eq!(wi.affected_total, 4);
         assert_eq!(wi.total_sites, 4);
@@ -437,7 +437,7 @@ mod tests {
             tele("10.0.0.1", 7, 50.0, 80),
         ]);
         store.ingest_honeypot(vec![hp("10.0.0.1", 9, 5 * 3600, ReflectionProtocol::Ntp)]);
-        let fw = framework(&w, store);
+        let fw = framework(&w, &store);
         let wi = WebImpact::analyze(&fw).unwrap();
         let rec = wi.site_records.values().next().unwrap();
         assert_eq!(rec.count, 3);
@@ -460,7 +460,7 @@ mod tests {
             hp("10.0.0.2", 1, 600, ReflectionProtocol::Ntp),
             hp("10.0.0.2", 2, 600, ReflectionProtocol::Dns),
         ]);
-        let fw = framework(&w, store);
+        let fw = framework(&w, &store);
         let wi = WebImpact::analyze(&fw).unwrap();
         assert_eq!(wi.web_tcp_share, 1.0);
         assert!((wi.web_port_share - 2.0 / 3.0).abs() < 1e-9);
@@ -472,7 +472,7 @@ mod tests {
         let (w, _) = world();
         let mut store = EventStore::new();
         store.ingest_telescope(vec![tele("10.0.0.1", 3, 5.0, 80)]);
-        let fw = framework(&w, store);
+        let fw = framework(&w, &store);
         let parties = parties_on_day(&fw, DayIndex(3));
         assert_eq!(parties.len(), 1);
         assert_eq!(parties[0].0, "BigHost");
@@ -484,7 +484,7 @@ mod tests {
     fn no_zone_returns_none() {
         let (w, _) = world();
         let store = EventStore::new();
-        let fw = Framework::new(store, &w.geo, &w.asdb, 30);
+        let fw = Framework::new(&store, &w.geo, &w.asdb, 30);
         assert!(WebImpact::analyze(&fw).is_none());
     }
 

@@ -9,8 +9,7 @@
 //! points, size) are computed from the intervals.
 
 use crate::catalog::OrgId;
-use dosscope_types::DayIndex;
-use std::collections::HashMap;
+use dosscope_types::{DayIndex, FastMap};
 use std::net::Ipv4Addr;
 
 /// Top-level domain of a Web site; the three gTLDs the paper measures.
@@ -129,15 +128,15 @@ pub struct ZoneStore {
     domains: Vec<DomainMeta>,
     placements: Vec<Placement>,
     by_domain: Vec<Vec<u32>>,
-    by_ip: HashMap<u32, Vec<u32>>,
+    by_ip: FastMap<u32, Vec<u32>>,
     /// Placements per operating organisation (for infrastructure joins).
-    by_org: HashMap<OrgId, Vec<u32>>,
+    by_org: FastMap<OrgId, Vec<u32>>,
     /// Registered org infrastructure.
     infra: Vec<OrgInfra>,
     /// Mail-exchanger address → infra index.
-    mx_index: HashMap<u32, usize>,
+    mx_index: FastMap<u32, usize>,
     /// Name-server address → infra index.
-    ns_index: HashMap<u32, usize>,
+    ns_index: FastMap<u32, usize>,
 }
 
 impl ZoneStore {

@@ -92,7 +92,7 @@ impl<'a> Experiments<'a> {
         let web = WebImpact::analyze(&fw).expect("scenario attaches DNS");
         let migration = MigrationAnalysis::analyze(&fw, &web).expect("scenario attaches DPS");
         let enricher = dosscope_core::Enricher::new(fw.geo, fw.asdb);
-        let joint = JointAnalysis::run(&fw.store, &enricher);
+        let joint = JointAnalysis::run(fw.store, &enricher);
         Experiments {
             fw,
             web,
@@ -259,7 +259,7 @@ impl<'a> Experiments<'a> {
         let _ = writeln!(
             s,
             "{}",
-            dosscope_core::coverage::CoverageStats::analyze(&self.fw.store, self.botnet_events)
+            dosscope_core::coverage::CoverageStats::analyze(self.fw.store, self.botnet_events)
                 .render()
         );
 
@@ -763,7 +763,7 @@ impl<'a> Experiments<'a> {
                 .cloned()
                 .collect(),
         );
-        let trimmed_fw = Framework::new(trimmed_store, &world.geo, &world.asdb, world.days)
+        let trimmed_fw = Framework::new(&trimmed_store, &world.geo, &world.asdb, world.days)
             .with_dns(&world.synth.zone, &world.synth.catalog)
             .with_dps(&world.dps);
         let trimmed_web = WebImpact::analyze(&trimmed_fw).expect("dns attached");

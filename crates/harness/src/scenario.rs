@@ -94,12 +94,11 @@ pub struct World {
 }
 
 impl World {
-    /// Assemble the analysis framework over this world.
+    /// Assemble the analysis framework over this world. The framework
+    /// borrows the world's event store directly — no per-call copy of the
+    /// event lists.
     pub fn framework(&self) -> Framework<'_> {
-        let mut store = EventStore::new();
-        store.ingest_telescope(self.store.telescope().to_vec());
-        store.ingest_honeypot(self.store.honeypot().to_vec());
-        Framework::new(store, &self.geo, &self.asdb, self.days)
+        Framework::new(&self.store, &self.geo, &self.asdb, self.days)
             .with_dns(&self.synth.zone, &self.synth.catalog)
             .with_dps(&self.dps)
     }

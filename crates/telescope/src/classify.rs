@@ -31,6 +31,142 @@ pub struct Backscatter {
     pub victim_port: Option<u16>,
 }
 
+/// Outcome of [`classify_batch`]: IPv4 validation, destination extraction
+/// and backscatter classification fused into one result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchClass {
+    /// The bytes are not a structurally valid IPv4 packet.
+    Malformed,
+    /// Valid IPv4 but not backscatter (scan, request, unknown transport).
+    Other,
+    /// A backscatter response packet.
+    Backscatter {
+        /// The capture-side destination address (one of the attacker's
+        /// spoofed sources; must fall inside the darknet to count).
+        dst: Ipv4Addr,
+        /// The extracted attribution facts.
+        facts: Backscatter,
+    },
+}
+
+/// Classify one representative packet in a single pass over the bytes.
+///
+/// Produces exactly the outcome of the layered path —
+/// `Ipv4Packet::new_checked` followed by [`classify`] — without
+/// constructing the intermediate typed views: the IPv4 header is
+/// validated once up front and every later field read indexes the same
+/// slice directly. This is the per-batch fast path of
+/// [`crate::RsdosDetector::ingest`]; the layered functions remain the
+/// reference implementation, and `tests/proptests.rs` checks the two
+/// agree on arbitrary (including corrupted and truncated) byte strings.
+pub fn classify_batch(bytes: &[u8]) -> BatchClass {
+    // IPv4 structural validation, mirroring `Ipv4Packet::new_checked`:
+    // room for the fixed header, consistent IHL/total-length, version 4.
+    // The fixed header is read through a `&[u8; 20]` so the per-field
+    // reads below compile without bounds checks.
+    let Some(hdr) = bytes.first_chunk::<20>() else {
+        return BatchClass::Malformed;
+    };
+    let hl = ((hdr[0] & 0x0F) as usize) * 4;
+    let total = u16::from_be_bytes([hdr[2], hdr[3]]) as usize;
+    if hl < 20 || hl > bytes.len() || total < hl || total > bytes.len() || hdr[0] >> 4 != 4 {
+        return BatchClass::Malformed;
+    }
+    let payload = &bytes[hl..total];
+    let (attack_proto, victim_port) = match hdr[9] {
+        // TCP: backscatter iff SYN/ACK (without RST) or RST, with a
+        // structurally valid header (`TcpSegment::new_checked`).
+        6 => {
+            let Some(tcp) = payload.first_chunk::<20>() else {
+                return BatchClass::Other;
+            };
+            let off = ((tcp[12] >> 4) as usize) * 4;
+            if off < 20 || off > payload.len() {
+                return BatchClass::Other;
+            }
+            let flags = tcp[13] & 0x3F;
+            let syn_ack = flags & 0x12 == 0x12 && flags & 0x04 == 0;
+            if !(syn_ack || flags & 0x04 != 0) {
+                return BatchClass::Other;
+            }
+            // The victim responds *from* the attacked port.
+            (
+                TransportProto::Tcp,
+                Some(u16::from_be_bytes([tcp[0], tcp[1]])),
+            )
+        }
+        // ICMP: backscatter iff the type is one of the nine response
+        // messages; error messages attribute the quoted packet.
+        1 => {
+            if payload.len() < 8 {
+                return BatchClass::Other;
+            }
+            let ty = payload[0];
+            if !matches!(ty, 0 | 3 | 4 | 5 | 11 | 12 | 14 | 16 | 18) {
+                return BatchClass::Other;
+            }
+            match quoted_attribution(ty, &payload[8..]) {
+                Some(pair) => pair,
+                // Non-quoting responses (echo reply & friends) and error
+                // messages whose quote fails to validate attribute an
+                // ICMP flood.
+                None => (TransportProto::Icmp, None),
+            }
+        }
+        // UDP and anything else arriving at a darknet is scanning or
+        // misconfiguration, not backscatter.
+        _ => return BatchClass::Other,
+    };
+    BatchClass::Backscatter {
+        dst: Ipv4Addr::new(hdr[16], hdr[17], hdr[18], hdr[19]),
+        facts: Backscatter {
+            victim: Ipv4Addr::new(hdr[12], hdr[13], hdr[14], hdr[15]),
+            spoofed_source: Ipv4Addr::new(hdr[16], hdr[17], hdr[18], hdr[19]),
+            attack_proto,
+            victim_port,
+        },
+    }
+}
+
+/// Attribution from the quoted inner packet of an ICMP error message
+/// (`quoted` is the ICMP payload after the 8-byte header). `None` when the
+/// message type does not quote or the quote fails IPv4 validation.
+fn quoted_attribution(ty: u8, quoted: &[u8]) -> Option<(TransportProto, Option<u16>)> {
+    if !matches!(ty, 3 | 4 | 5 | 11 | 12) {
+        return None;
+    }
+    // The quote must itself be a valid IPv4 header (RFC 792 only
+    // guarantees a prefix; `Ipv4Packet::new_checked` semantics).
+    let qh = quoted.first_chunk::<20>()?;
+    let qhl = ((qh[0] & 0x0F) as usize) * 4;
+    let qtotal = u16::from_be_bytes([qh[2], qh[3]]) as usize;
+    if qhl < 20 || qhl > quoted.len() || qtotal < qhl || qtotal > quoted.len() || qh[0] >> 4 != 4 {
+        return None;
+    }
+    let qp = &quoted[qhl..qtotal];
+    Some(match qh[9] {
+        // Quoted UDP: destination port when the UDP header validates.
+        17 => {
+            let port = (qp.len() >= 8 && {
+                let ulen = u16::from_be_bytes([qp[4], qp[5]]) as usize;
+                (8..=qp.len()).contains(&ulen)
+            })
+            .then(|| u16::from_be_bytes([qp[2], qp[3]]));
+            (TransportProto::Udp, port)
+        }
+        // Quoted TCP: RFC 792 only guarantees 8 quoted bytes, so the
+        // ports are read whenever present even if the full header is
+        // truncated (the layered path's checked-parse-then-fallback
+        // reads the same two bytes in both branches).
+        6 => (
+            TransportProto::Tcp,
+            (qp.len() >= 4).then(|| u16::from_be_bytes([qp[2], qp[3]])),
+        ),
+        1 => (TransportProto::Icmp, None),
+        _ => (TransportProto::Other, None),
+    })
+}
+
 /// Classify a captured packet; `None` means "not backscatter" (scans,
 /// requests, malformed packets, ...).
 pub fn classify(packet: &Ipv4Packet<&[u8]>) -> Option<Backscatter> {

@@ -8,14 +8,13 @@
 //! packet rate, which estimates a victim-side rate when multiplied by the
 //! telescope scaling factor (×256 for a /8).
 
-use crate::classify::classify;
+use crate::classify::{classify_batch, BatchClass};
 use crate::flow::{Flow, FlowTable};
 use crate::packet::PacketBatch;
 use crate::Telescope;
 use dosscope_types::{
     AttackEvent, AttackVector, PortSignature, SimTime, TimeRange, TransportProto,
 };
-use dosscope_wire::Ipv4Packet;
 
 /// Detector thresholds and parameters; defaults are the published values.
 #[derive(Debug, Clone, Copy)]
@@ -43,7 +42,7 @@ impl Default for DetectorConfig {
 }
 
 /// Counters describing what the detector saw and dropped.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DetectorStats {
     /// Batches whose bytes failed IPv4 parsing.
     pub malformed: u64,
@@ -96,22 +95,33 @@ impl RsdosDetector {
         self.stats
     }
 
+    /// Number of currently live (unexpired) flows — the flow table's
+    /// working-set size, sampled by the pipeline benchmark.
+    pub fn live_flows(&self) -> usize {
+        self.flows.len()
+    }
+
     /// Ingest one captured batch (batches must arrive in time order).
     pub fn ingest(&mut self, batch: &PacketBatch) {
-        let Ok(ip) = Ipv4Packet::new_checked(batch.bytes.as_slice()) else {
-            self.stats.malformed += 1;
-            return;
+        // One fused pass over the bytes (validation + classification);
+        // equivalent to checked parse + `classify`, see `classify_batch`.
+        let (dst, bs) = match classify_batch(batch.bytes.as_slice()) {
+            BatchClass::Malformed => {
+                self.stats.malformed += 1;
+                return;
+            }
+            BatchClass::Other => {
+                self.stats.non_backscatter += 1;
+                return;
+            }
+            BatchClass::Backscatter { dst, facts } => (dst, facts),
         };
         // Ignore stray packets not destined to the darknet; the capture in
         // front of a real telescope guarantees this, the simulator may not.
-        if !self.telescope.observes(ip.dst()) {
+        if !self.telescope.observes(dst) {
             self.stats.non_backscatter += 1;
             return;
         }
-        let Some(bs) = classify(&ip) else {
-            self.stats.non_backscatter += 1;
-            return;
-        };
         self.stats.backscatter_packets += batch.count as u64;
         if let Some(expired) = self
             .flows
@@ -125,6 +135,15 @@ impl RsdosDetector {
     /// boundaries (Corsaro-style).
     pub fn advance(&mut self, now: SimTime) {
         for flow in self.flows.sweep(now) {
+            self.finalize(flow);
+        }
+    }
+
+    /// `advance` through the reference full-scan sweep
+    /// ([`FlowTable::sweep_scan`]); finalizes the identical flow set. Kept
+    /// for the pipeline benchmark's pre-wheel baseline lane.
+    pub fn advance_scan(&mut self, now: SimTime) {
+        for flow in self.flows.sweep_scan(now) {
             self.finalize(flow);
         }
     }

@@ -3,8 +3,8 @@
 //! inactivity (the paper's conservative timeout).
 
 use crate::classify::Backscatter;
-use dosscope_types::{SimTime, TransportProto, SECS_PER_MINUTE};
-use std::collections::{BTreeSet, HashMap};
+use dosscope_types::{FastMap, FastSet, SimTime, TransportProto, SECS_PER_MINUTE};
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 /// Cap on the exact distinct-port set; beyond this the count saturates
@@ -13,6 +13,13 @@ const MAX_TRACKED_PORTS: usize = 256;
 
 /// Cap on the exact distinct-source set, after which the count saturates.
 const MAX_TRACKED_SOURCES: usize = 65_536;
+
+/// Initial capacity of a flow's distinct-source set. Every backscatter
+/// packet carries a fresh spoofed source, so the set grows with the flow;
+/// starting at a realistic size skips the worst of the realloc/rehash
+/// chain on the per-packet path (the dominant cost of `Flow::add` for
+/// short flows) at ~1 KiB per live flow.
+const SOURCES_INITIAL_CAPACITY: usize = 128;
 
 /// An in-progress attack flow against one victim.
 #[derive(Debug, Clone)]
@@ -30,18 +37,24 @@ pub struct Flow {
     /// Packets per attributed attack protocol, indexed by
     /// [`TransportProto::ALL`] order.
     pub proto_packets: [u64; 4],
-    /// Distinct victim-side ports observed (exact up to the cap).
-    ports: BTreeSet<u16>,
+    /// Distinct victim-side ports observed (exact up to the cap), kept
+    /// sorted. A flow rarely sees more than a handful of ports, so a
+    /// sorted vec beats a tree node walk on the per-packet path.
+    ports: Vec<u16>,
     ports_saturated: bool,
     /// Distinct telescope-side addresses (the attack's spoofed sources
     /// that happened to fall in the darknet), exact up to the cap.
-    sources: std::collections::HashSet<u32>,
+    sources: FastSet<u32>,
     sources_overflow: u32,
     /// Packet count in the current minute bucket.
     cur_minute: u64,
     cur_minute_count: u64,
     /// Highest per-minute packet count seen.
     max_minute_count: u64,
+    /// The expiry-wheel bucket this flow is registered in (`u64::MAX`
+    /// until first registered). Entries in older wheel buckets are stale
+    /// and skipped by `sweep`.
+    bucket: u64,
 }
 
 impl Flow {
@@ -53,13 +66,17 @@ impl Flow {
             packets: 0,
             bytes: 0,
             proto_packets: [0; 4],
-            ports: BTreeSet::new(),
+            ports: Vec::new(),
             ports_saturated: false,
-            sources: std::collections::HashSet::new(),
+            sources: FastSet::with_capacity_and_hasher(
+                SOURCES_INITIAL_CAPACITY,
+                Default::default(),
+            ),
             sources_overflow: 0,
             cur_minute: ts.minute(),
             cur_minute_count: 0,
             max_minute_count: 0,
+            bucket: u64::MAX,
         }
     }
 
@@ -68,16 +85,14 @@ impl Flow {
         self.last = self.last.max(ts);
         self.packets += count as u64;
         self.bytes += bytes;
-        let proto_idx = TransportProto::ALL
-            .iter()
-            .position(|p| *p == b.attack_proto)
-            .expect("ALL covers every variant");
-        self.proto_packets[proto_idx] += count as u64;
+        self.proto_packets[b.attack_proto.index()] += count as u64;
         if let Some(port) = b.victim_port {
-            if self.ports.len() < MAX_TRACKED_PORTS {
-                self.ports.insert(port);
-            } else if !self.ports.contains(&port) {
-                self.ports_saturated = true;
+            if let Err(at) = self.ports.binary_search(&port) {
+                if self.ports.len() < MAX_TRACKED_PORTS {
+                    self.ports.insert(at, port);
+                } else {
+                    self.ports_saturated = true;
+                }
             }
         }
         let src = u32::from(b.spoofed_source);
@@ -115,7 +130,7 @@ impl Flow {
     /// The single observed port, if exactly one.
     pub fn single_port(&self) -> Option<u16> {
         if self.distinct_ports() == 1 {
-            self.ports.iter().next().copied()
+            self.ports.first().copied()
         } else {
             None
         }
@@ -140,18 +155,36 @@ impl Flow {
 }
 
 /// The victim-keyed flow table with inactivity expiry.
+///
+/// Expiry uses a coarse, lazily-maintained time wheel: a flow registers in
+/// a bucket (width ≤ 60 s) once when it starts, and [`FlowTable::sweep`]
+/// visits only buckets old enough to possibly hold expired flows. A flow
+/// found live there is re-filed under its current activity bucket, so the
+/// wheel costs nothing on the per-packet path and each flow is touched at
+/// most once per timeout window by sweeps — an interval boundary is
+/// O(expired + revisited), never O(live flows). Entries left behind by a
+/// replaced or re-filed flow are recognised as stale (the flow's own
+/// `bucket` field is authoritative) and dropped for free.
 #[derive(Debug)]
 pub struct FlowTable {
-    flows: HashMap<Ipv4Addr, Flow>,
+    flows: FastMap<Ipv4Addr, Flow>,
     timeout_secs: u64,
+    /// Wheel bucket width in seconds.
+    granularity: u64,
+    /// Last-activity buckets: bucket index → victims whose flows last saw
+    /// traffic in `[index * granularity, (index + 1) * granularity)`.
+    /// Entries may be stale; a `BTreeMap` keeps the oldest bucket first.
+    buckets: BTreeMap<u64, Vec<Ipv4Addr>>,
 }
 
 impl FlowTable {
     /// A table with the given inactivity timeout (the paper uses 300 s).
     pub fn new(timeout_secs: u64) -> FlowTable {
         FlowTable {
-            flows: HashMap::new(),
+            flows: FastMap::default(),
             timeout_secs,
+            granularity: timeout_secs.clamp(1, 60),
+            buckets: BTreeMap::new(),
         }
     }
 
@@ -184,12 +217,70 @@ impl FlowTable {
             expired = Some(std::mem::replace(flow, Flow::new(b.victim, ts)));
         }
         flow.add(b, ts, count, bytes);
+        // Register fresh flows once; `sweep` re-registers a flow that is
+        // still live when its bucket comes up, so the per-packet wheel
+        // cost is a single comparison. (A replacement flow starts with
+        // `bucket == u64::MAX` again; the entry left in the old flow's
+        // bucket is recognised as stale via the authoritative field.)
+        if flow.bucket == u64::MAX {
+            let bucket = flow.last.secs() / self.granularity;
+            flow.bucket = bucket;
+            self.buckets.entry(bucket).or_default().push(b.victim);
+        }
         expired
     }
 
     /// Expire and return every flow idle at `now` (last activity more than
-    /// the timeout ago). Called by the driver at interval boundaries.
+    /// the timeout ago), sorted by victim. Called by the driver at
+    /// interval boundaries. Only wheel buckets old enough to contain
+    /// expired flows are visited, so the cost is O(expired + stale), not
+    /// O(live flows).
     pub fn sweep(&mut self, now: SimTime) -> Vec<Flow> {
+        let mut out = Vec::new();
+        // A bucket is visited when even its newest possible activity has
+        // timed out. Still-live flows found there are moved forward to
+        // this floor at minimum, so a bucket is never re-inserted below
+        // the sweep frontier (which would loop).
+        let safe_bucket = now
+            .secs()
+            .saturating_sub(self.timeout_secs)
+            .div_ceil(self.granularity.max(1));
+        while let Some((&bucket, _)) = self.buckets.first_key_value() {
+            // The earliest possible last-activity in this bucket is
+            // `bucket * granularity`; if even that is within the timeout,
+            // no flow here or in any later bucket can be expired.
+            if now.secs() <= bucket.saturating_mul(self.granularity) + self.timeout_secs {
+                break;
+            }
+            let victims = self.buckets.pop_first().expect("checked non-empty").1;
+            for v in victims {
+                match self.flows.get_mut(&v) {
+                    Some(f) if f.bucket == bucket => {
+                        if now.secs() > f.last.secs() + self.timeout_secs {
+                            out.push(self.flows.remove(&v).expect("present above"));
+                        } else {
+                            // Live flow whose activity moved on since it
+                            // was registered: re-file it under its current
+                            // activity bucket (clamped to the frontier).
+                            let fwd = (f.last.secs() / self.granularity).max(safe_bucket);
+                            f.bucket = fwd;
+                            self.buckets.entry(fwd).or_default().push(v);
+                        }
+                    }
+                    // Stale entry: the flow was replaced or re-filed.
+                    _ => {}
+                }
+            }
+        }
+        out.sort_by_key(|f| f.victim);
+        out
+    }
+
+    /// The pre-wheel full-table sweep, kept as the reference
+    /// implementation: scans every live flow. Used by the equivalence
+    /// property test and the pipeline benchmark's baseline lane; `sweep`
+    /// returns exactly the same flow set, in the same victim order.
+    pub fn sweep_scan(&mut self, now: SimTime) -> Vec<Flow> {
         let timeout = self.timeout_secs;
         let expired_keys: Vec<Ipv4Addr> = self
             .flows
@@ -197,15 +288,21 @@ impl FlowTable {
             .filter(|(_, f)| now.secs() > f.last.secs() + timeout)
             .map(|(k, _)| *k)
             .collect();
-        expired_keys
+        let mut out: Vec<Flow> = expired_keys
             .into_iter()
             .map(|k| self.flows.remove(&k).expect("key collected above"))
-            .collect()
+            .collect();
+        out.sort_by_key(|f| f.victim);
+        out
     }
 
-    /// Finalize and return all remaining flows (end of trace).
+    /// Finalize and return all remaining flows (end of trace), sorted by
+    /// victim.
     pub fn drain(&mut self) -> Vec<Flow> {
-        self.flows.drain().map(|(_, f)| f).collect()
+        self.buckets.clear();
+        let mut out: Vec<Flow> = self.flows.drain().map(|(_, f)| f).collect();
+        out.sort_by_key(|f| f.victim);
+        out
     }
 }
 
@@ -313,6 +410,73 @@ mod tests {
         t.offer(&b, SimTime(1), 3, 120);
         let f = t.drain().pop().unwrap();
         assert_eq!(f.dominant_proto(), TransportProto::Tcp);
+    }
+
+    /// Satellite: drain/sweep output order is canonical (sorted by
+    /// victim), never hash-map iteration order, regardless of hasher.
+    #[test]
+    fn drain_and_sweep_order_is_sorted_by_victim() {
+        let mut t = FlowTable::new(300);
+        // Insert in a scrambled order.
+        for last_octet in [9u8, 1, 200, 73, 42, 128, 3] {
+            let v = format!("203.0.113.{last_octet}");
+            t.offer(&bs(&v, Some(80), "44.0.0.1"), SimTime(0), 1, 40);
+        }
+        let drained = t.drain();
+        let victims: Vec<Ipv4Addr> = drained.iter().map(|f| f.victim).collect();
+        let mut sorted = victims.clone();
+        sorted.sort();
+        assert_eq!(victims, sorted, "drain output must be victim-sorted");
+
+        let mut t = FlowTable::new(300);
+        for last_octet in [9u8, 1, 200, 73, 42, 128, 3] {
+            let v = format!("203.0.113.{last_octet}");
+            t.offer(&bs(&v, Some(80), "44.0.0.1"), SimTime(0), 1, 40);
+        }
+        let swept = t.sweep(SimTime(1000));
+        assert_eq!(swept.len(), 7);
+        let victims: Vec<Ipv4Addr> = swept.iter().map(|f| f.victim).collect();
+        let mut sorted = victims.clone();
+        sorted.sort();
+        assert_eq!(victims, sorted, "sweep output must be victim-sorted");
+    }
+
+    /// The bucketed sweep matches the reference full-scan sweep exactly,
+    /// including flows that moved buckets (stale wheel entries).
+    #[test]
+    fn bucketed_sweep_matches_scan_sweep() {
+        let mut a = FlowTable::new(300);
+        let mut b = FlowTable::new(300);
+        let feed = |t: &mut FlowTable| {
+            t.offer(&bs("203.0.113.1", Some(80), "44.0.0.1"), SimTime(0), 1, 40);
+            t.offer(&bs("203.0.113.2", Some(80), "44.0.0.2"), SimTime(30), 1, 40);
+            // Victim 1 stays active (moves wheel buckets), victim 2 idles.
+            t.offer(&bs("203.0.113.1", Some(80), "44.0.0.1"), SimTime(250), 1, 40);
+        };
+        feed(&mut a);
+        feed(&mut b);
+        for now in [100u64, 331, 400, 551, 552, 900] {
+            let x: Vec<Ipv4Addr> = a.sweep(SimTime(now)).iter().map(|f| f.victim).collect();
+            let y: Vec<Ipv4Addr> = b.sweep_scan(SimTime(now)).iter().map(|f| f.victim).collect();
+            assert_eq!(x, y, "sweep at t={now}");
+        }
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn sweep_after_flow_replacement_ignores_stale_entries() {
+        let mut t = FlowTable::new(300);
+        let b = bs("203.0.113.1", Some(80), "44.0.0.1");
+        t.offer(&b, SimTime(0), 1, 40);
+        // Replacement in offer leaves the old flow's wheel entry behind.
+        let old = t.offer(&b, SimTime(400), 1, 40);
+        assert!(old.is_some());
+        // Sweeping past the old bucket must not expire the fresh flow.
+        assert!(t.sweep(SimTime(420)).is_empty());
+        assert_eq!(t.len(), 1);
+        // And the fresh flow still expires on schedule.
+        assert_eq!(t.sweep(SimTime(701)).len(), 1);
+        assert!(t.is_empty());
     }
 
     #[test]

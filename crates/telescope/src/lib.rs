@@ -48,7 +48,7 @@ pub mod packet;
 pub mod plugin;
 pub mod sharded;
 
-pub use classify::{classify, Backscatter};
+pub use classify::{classify, classify_batch, Backscatter, BatchClass};
 pub use detector::{DetectorConfig, RsdosDetector};
 pub use packet::PacketBatch;
 pub use plugin::{drive_plugin, run_rsdos, Corsaro, RsdosPlugin, StatsPlugin, TelescopePlugin};

@@ -6,8 +6,12 @@
 //! one-second bucket, the same compression a pcap aggregator would apply.
 //! Every batch's bytes are parsed through `dosscope-wire`'s checked
 //! parsers, so the byte-level decode path is exercised on every batch.
+//!
+//! The representative bytes are [`SharedBytes`]: cloning a batch (stream
+//! partitioning, replayed test streams, bench workloads) bumps a
+//! reference count instead of copying the packet.
 
-use dosscope_types::SimTime;
+use dosscope_types::{SharedBytes, SimTime};
 
 /// A batch of `count` identical packets captured at `ts`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -18,22 +22,26 @@ pub struct PacketBatch {
     /// How many identical packets the batch stands for (≥ 1).
     pub count: u32,
     /// One representative packet, starting at the IPv4 header.
-    pub bytes: Vec<u8>,
+    pub bytes: SharedBytes,
 }
 
 impl PacketBatch {
     /// A batch of one packet.
-    pub fn single(ts: SimTime, bytes: Vec<u8>) -> PacketBatch {
-        PacketBatch { ts, count: 1, bytes }
+    pub fn single(ts: SimTime, bytes: impl Into<SharedBytes>) -> PacketBatch {
+        PacketBatch {
+            ts,
+            count: 1,
+            bytes: bytes.into(),
+        }
     }
 
     /// A batch of `count` identical packets.
-    pub fn repeated(ts: SimTime, count: u32, bytes: Vec<u8>) -> PacketBatch {
+    pub fn repeated(ts: SimTime, count: u32, bytes: impl Into<SharedBytes>) -> PacketBatch {
         debug_assert!(count >= 1, "batch must stand for at least one packet");
         PacketBatch {
             ts,
             count: count.max(1),
-            bytes,
+            bytes: bytes.into(),
         }
     }
 
@@ -54,5 +62,13 @@ mod tests {
         let s = PacketBatch::single(SimTime(5), vec![0u8; 40]);
         assert_eq!(s.count, 1);
         assert_eq!(s.total_bytes(), 40);
+    }
+
+    #[test]
+    fn clone_shares_representative_bytes() {
+        let b = PacketBatch::repeated(SimTime(5), 10, vec![0u8; 40]);
+        let c = b.clone();
+        assert_eq!(b, c);
+        assert_eq!(b.bytes.as_slice().as_ptr(), c.bytes.as_slice().as_ptr());
     }
 }

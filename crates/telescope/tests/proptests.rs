@@ -1,7 +1,10 @@
 //! Property-based tests for the detection pipeline: conservation laws of
 //! the flow table and filter monotonicity of the detector.
 
-use dosscope_telescope::{DetectorConfig, PacketBatch, RsdosDetector, Telescope};
+use dosscope_telescope::{
+    classify, classify_batch, BatchClass, DetectorConfig, PacketBatch, RsdosDetector, Telescope,
+};
+use dosscope_wire::Ipv4Packet;
 use dosscope_types::SimTime;
 use dosscope_wire::builder;
 use proptest::prelude::*;
@@ -83,6 +86,42 @@ proptest! {
         }
     }
 
+    /// Expiry equivalence: the bucketed time-wheel sweep finalizes exactly
+    /// the same flow set as the retained full-table scan, for arbitrary
+    /// batch timelines, timeouts, and mid-stream sweep schedules.
+    #[test]
+    fn bucketed_sweep_matches_full_scan(
+        attacks in proptest::collection::vec(arb_attack(), 1..6),
+        timeout in 1u64..400,
+        sweep_every in 1usize..24,
+        jitter in 0u64..3_000,
+    ) {
+        let batches = render(&attacks);
+        let config = DetectorConfig {
+            flow_timeout_secs: timeout,
+            min_packets: 0,
+            min_duration_secs: 0,
+            min_max_pps: 0.0,
+        };
+        let mut wheel = RsdosDetector::new(Telescope::default_slash8(), config);
+        let mut scan = RsdosDetector::new(Telescope::default_slash8(), config);
+        for (i, b) in batches.iter().enumerate() {
+            wheel.ingest(b);
+            scan.ingest(b);
+            if i % sweep_every == sweep_every - 1 {
+                let now = SimTime(b.ts.secs() + jitter);
+                wheel.advance(now);
+                scan.advance_scan(now);
+                prop_assert_eq!(wheel.live_flows(), scan.live_flows());
+                prop_assert_eq!(wheel.events().len(), scan.events().len());
+            }
+        }
+        let (we, ws) = wheel.finish();
+        let (se, ss) = scan.finish();
+        prop_assert_eq!(we, se);
+        prop_assert_eq!(ws, ss);
+    }
+
     /// Flow splitting: the same script with a shorter flow timeout never
     /// yields fewer finalized flows.
     #[test]
@@ -105,5 +144,66 @@ proptest! {
         };
         prop_assert!(finalized(30) >= finalized(300));
         prop_assert!(finalized(300) >= finalized(100_000));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The fused one-pass `classify_batch` agrees with the layered
+    /// reference (checked IPv4 parse + `classify`) on valid, corrupted
+    /// and truncated packets alike.
+    #[test]
+    fn fused_classify_matches_layered(
+        kind in 0usize..5,
+        a in 1u8..255,
+        b in 0u8..255,
+        port in 0u16..u16::MAX,
+        code in 0u8..16,
+        flips in proptest::collection::vec((0usize..4096, 0u8..=255u8), 0..8),
+        cut in 0usize..4096,
+        raw in proptest::collection::vec(0u8..=255u8, 0..64),
+    ) {
+        use dosscope_wire::IpProtocol;
+        let victim = Ipv4Addr::new(203, 0, 113, a);
+        let dark = Ipv4Addr::new(44, b, 1, 2);
+        let mut bytes = match kind {
+            0 => builder::tcp_syn_ack(victim, port, dark, 40_000, 7),
+            1 => builder::tcp_rst(victim, port, dark, 40_000, 7),
+            2 => builder::icmp_echo_reply(victim, dark, 7, 9),
+            3 => builder::icmp_dest_unreachable(
+                victim,
+                dark,
+                match code % 4 {
+                    0 => IpProtocol::Udp,
+                    1 => IpProtocol::Tcp,
+                    2 => IpProtocol::Icmp,
+                    _ => IpProtocol::Igmp,
+                },
+                port,
+                port ^ 0x5555,
+                code % 6,
+            ),
+            _ => raw.clone(),
+        };
+        for (i, v) in flips {
+            if !bytes.is_empty() {
+                let n = bytes.len();
+                bytes[i % n] = v;
+            }
+        }
+        if !bytes.is_empty() {
+            let n = bytes.len();
+            bytes.truncate(1 + cut % n);
+        }
+        let fused = classify_batch(&bytes);
+        let layered = match Ipv4Packet::new_checked(bytes.as_slice()) {
+            Err(_) => BatchClass::Malformed,
+            Ok(ip) => match classify(&ip) {
+                None => BatchClass::Other,
+                Some(facts) => BatchClass::Backscatter { dst: ip.dst(), facts },
+            },
+        };
+        prop_assert_eq!(fused, layered);
     }
 }

@@ -1,0 +1,122 @@
+//! Cheaply-cloneable immutable byte buffers for batch representatives.
+//!
+//! A rendered packet batch carries one representative wire packet; the
+//! batch itself is cloned freely (partitioning, replayed test streams,
+//! bench workloads), and deep-copying the packet bytes on every clone is
+//! pure churn. [`SharedBytes`] is an `Arc<[u8]>`: a clone is a
+//! reference-count bump, construction copies the bytes once into a single
+//! allocation that inlines them next to the refcount, and every later
+//! access — including `as_slice().as_ptr()` identity reads on the
+//! honeypot's parse-memo path — is at most one pointer hop because the fat
+//! pointer lives inline in the owning batch.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte buffer.
+#[derive(Clone, Default)]
+pub struct SharedBytes(Arc<[u8]>);
+
+impl SharedBytes {
+    /// Copy the bytes once into a shared header+data allocation.
+    pub fn new(bytes: Vec<u8>) -> SharedBytes {
+        SharedBytes(bytes.into())
+    }
+
+    /// The contents as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Length in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl From<Vec<u8>> for SharedBytes {
+    fn from(bytes: Vec<u8>) -> SharedBytes {
+        SharedBytes::new(bytes)
+    }
+}
+
+impl From<&[u8]> for SharedBytes {
+    fn from(bytes: &[u8]) -> SharedBytes {
+        SharedBytes(Arc::from(bytes))
+    }
+}
+
+
+impl Deref for SharedBytes {
+    type Target = [u8];
+
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for SharedBytes {
+    #[inline]
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Equality is by contents, like `Vec<u8>`; two independently built
+/// buffers with the same bytes compare equal.
+impl PartialEq for SharedBytes {
+    fn eq(&self, other: &SharedBytes) -> bool {
+        Arc::ptr_eq(&self.0, &other.0) || self.0 == other.0
+    }
+}
+
+impl Eq for SharedBytes {}
+
+impl std::fmt::Debug for SharedBytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_the_allocation() {
+        let a = SharedBytes::from(vec![1u8, 2, 3]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(a.as_slice().as_ptr(), b.as_slice().as_ptr());
+    }
+
+    #[test]
+    fn equality_is_by_contents() {
+        let a = SharedBytes::from(vec![9u8; 40]);
+        let b = SharedBytes::from(vec![9u8; 40]);
+        assert_eq!(a, b);
+        assert_ne!(a, SharedBytes::from(vec![8u8; 40]));
+    }
+
+    #[test]
+    fn derefs_like_a_slice() {
+        let a = SharedBytes::from(vec![1u8, 2, 3]);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a[1], 2);
+        assert_eq!(&a[..2], &[1, 2]);
+        assert!(!a.is_empty());
+        fn takes_slice(s: &[u8]) -> usize {
+            s.len()
+        }
+        assert_eq!(takes_slice(&a), 3);
+    }
+}

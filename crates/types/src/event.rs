@@ -48,6 +48,13 @@ impl TransportProto {
         TransportProto::Icmp,
         TransportProto::Other,
     ];
+
+    /// This variant's position in [`TransportProto::ALL`], as a branchless
+    /// lookup for per-packet counters indexed in `ALL` order.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
 }
 
 impl std::fmt::Display for TransportProto {
@@ -267,6 +274,13 @@ impl AttackEvent {
 mod tests {
     use super::*;
     use crate::time::SimTime;
+
+    #[test]
+    fn transport_proto_index_matches_all_order() {
+        for (i, p) in TransportProto::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i, "{p:?}");
+        }
+    }
 
     fn sample_event(vector: AttackVector) -> AttackEvent {
         AttackEvent {

@@ -1,0 +1,161 @@
+//! A vendored FxHash-style hasher for the measurement hot path.
+//!
+//! The per-packet maps (flow tables, open honeypot events, enrichment
+//! memos, DNS indexes) are keyed by small fixed-size keys — `Ipv4Addr`,
+//! `u32`, short tuples — for which std's SipHash-1-3 pays a keyed,
+//! DoS-resistant price the pipelines do not need: every key is derived
+//! from simulated traffic, not attacker-controlled map input of a public
+//! service. The multiply-xor scheme below (the rustc/Firefox "FxHash"
+//! construction) hashes a word per round and is deterministic across runs,
+//! which also makes perf numbers reproducible.
+//!
+//! Determinism caveat: iteration order of a [`FastMap`] is still
+//! unspecified (it depends on capacity and insertion history), so any
+//! result that leaves a map must be canonicalized by sorting — the same
+//! discipline the std `RandomState` maps already forced on this codebase.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The multiplier of the Fx construction: a 64-bit constant derived from
+/// the golden ratio (`2^64 / phi`, forced odd).
+const K: u64 = 0x517c_c1b7_2722_0a95;
+
+/// FxHash: one rotate-xor-multiply round per 64-bit word of input.
+///
+/// Not cryptographic and not HashDoS-resistant — use only for maps whose
+/// keys the process itself produces.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            // Fold the tail length in so "\x01" and "\x01\x00" differ.
+            self.add(u64::from_le_bytes(tail) ^ ((rem.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add(i as u64);
+        self.add((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`]; plug into any `HashMap`/`HashSet`.
+pub type FastBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`]. Construct with `FastMap::default()`.
+pub type FastMap<K, V> = std::collections::HashMap<K, V, FastBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`]. Construct with `FastSet::default()`.
+pub type FastSet<T> = std::collections::HashSet<T, FastBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+    use std::net::Ipv4Addr;
+
+    fn hash_of<T: Hash>(value: &T) -> u64 {
+        FastBuildHasher::default().hash_one(value)
+    }
+
+    #[test]
+    fn deterministic_across_hasher_instances() {
+        let a: Ipv4Addr = "203.0.113.9".parse().unwrap();
+        assert_eq!(hash_of(&a), hash_of(&a));
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        let a = hash_of(&u32::from(Ipv4Addr::new(10, 0, 0, 1)));
+        let b = hash_of(&u32::from(Ipv4Addr::new(10, 0, 0, 2)));
+        assert_ne!(a, b);
+        assert_ne!(hash_of(&0u64), hash_of(&1u64));
+    }
+
+    #[test]
+    fn byte_streams_with_different_tails_differ() {
+        assert_ne!(hash_of(&&b"\x01"[..]), hash_of(&&b"\x01\x00"[..]));
+        assert_ne!(
+            hash_of(&&b"0123456789"[..]),
+            hash_of(&&b"0123456780"[..])
+        );
+    }
+
+    #[test]
+    fn map_and_set_behave_like_std() {
+        let mut m: FastMap<Ipv4Addr, u32> = FastMap::default();
+        for i in 0..1000u32 {
+            m.insert(Ipv4Addr::from(i), i);
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000u32 {
+            assert_eq!(m.get(&Ipv4Addr::from(i)), Some(&i));
+        }
+        let mut s: FastSet<u32> = FastSet::default();
+        for i in 0..100 {
+            s.insert(i % 10);
+        }
+        assert_eq!(s.len(), 10);
+    }
+
+    #[test]
+    fn tuple_keys_work() {
+        let mut m: FastMap<(Ipv4Addr, u8), u64> = FastMap::default();
+        let a: Ipv4Addr = "198.18.0.53".parse().unwrap();
+        m.insert((a, 1), 10);
+        m.insert((a, 2), 20);
+        assert_eq!(m.get(&(a, 1)), Some(&10));
+        assert_eq!(m.get(&(a, 2)), Some(&20));
+    }
+}

@@ -12,16 +12,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bytes;
 pub mod event;
+pub mod fasthash;
 pub mod net;
 pub mod service;
 pub mod shard;
 pub mod stats;
 pub mod time;
 
+pub use bytes::SharedBytes;
 pub use event::{
     AttackEvent, AttackVector, EventSource, PortSignature, ReflectionProtocol, TransportProto,
 };
+pub use fasthash::{FastBuildHasher, FastMap, FastSet, FxHasher};
 pub use net::{Asn, CountryCode, Ipv4Cidr, Prefix16, Prefix24};
 pub use shard::shard_of;
 pub use stats::{Ecdf, FrozenEcdf, LogHistogram, RunningStats, TimeSeries};

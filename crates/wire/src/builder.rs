@@ -30,15 +30,20 @@ use crate::udp::{self, UdpDatagram};
 use dosscope_types::ReflectionProtocol;
 use std::net::Ipv4Addr;
 
-fn ipv4_shell(
+/// Reset `buf` to a zeroed IPv4 shell of `HEADER_LEN + payload_len` bytes
+/// with the header fields below filled in. The buffer's capacity is
+/// reused, so a caller looping over packets allocates only on growth.
+fn ipv4_shell_into(
+    buf: &mut Vec<u8>,
     src: Ipv4Addr,
     dst: Ipv4Addr,
     proto: IpProtocol,
     ident: u16,
     payload_len: usize,
-) -> Vec<u8> {
+) {
     let total = ipv4::HEADER_LEN + payload_len;
-    let mut buf = vec![0u8; total];
+    buf.clear();
+    buf.resize(total, 0);
     let mut ip = Ipv4Packet::new_unchecked(&mut buf[..]);
     ip.init();
     ip.set_total_len(total as u16);
@@ -46,13 +51,11 @@ fn ipv4_shell(
     ip.set_src(src);
     ip.set_dst(dst);
     ip.set_ident(ident);
-    buf
 }
 
-fn finish_ip(mut buf: Vec<u8>) -> Vec<u8> {
-    let mut ip = Ipv4Packet::new_unchecked(&mut buf[..]);
+fn finish_ip(buf: &mut [u8]) {
+    let mut ip = Ipv4Packet::new_unchecked(buf);
     ip.fill_checksum();
-    buf
 }
 
 /// A TCP SYN/ACK from `victim:victim_port` to a spoofed source — the
@@ -64,7 +67,22 @@ pub fn tcp_syn_ack(
     spoofed_port: u16,
     seq: u32,
 ) -> Vec<u8> {
+    let mut buf = Vec::new();
+    tcp_syn_ack_into(&mut buf, victim, victim_port, spoofed, spoofed_port, seq);
+    buf
+}
+
+/// [`tcp_syn_ack`] into a reusable scratch buffer.
+pub fn tcp_syn_ack_into(
+    buf: &mut Vec<u8>,
+    victim: Ipv4Addr,
+    victim_port: u16,
+    spoofed: Ipv4Addr,
+    spoofed_port: u16,
+    seq: u32,
+) {
     tcp_response(
+        buf,
         victim,
         victim_port,
         spoofed,
@@ -83,7 +101,22 @@ pub fn tcp_rst(
     spoofed_port: u16,
     seq: u32,
 ) -> Vec<u8> {
+    let mut buf = Vec::new();
+    tcp_rst_into(&mut buf, victim, victim_port, spoofed, spoofed_port, seq);
+    buf
+}
+
+/// [`tcp_rst`] into a reusable scratch buffer.
+pub fn tcp_rst_into(
+    buf: &mut Vec<u8>,
+    victim: Ipv4Addr,
+    victim_port: u16,
+    spoofed: Ipv4Addr,
+    spoofed_port: u16,
+    seq: u32,
+) {
     tcp_response(
+        buf,
         victim,
         victim_port,
         spoofed,
@@ -93,15 +126,17 @@ pub fn tcp_rst(
     )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn tcp_response(
+    buf: &mut Vec<u8>,
     victim: Ipv4Addr,
     victim_port: u16,
     spoofed: Ipv4Addr,
     spoofed_port: u16,
     seq: u32,
     flags: TcpFlags,
-) -> Vec<u8> {
-    let mut buf = ipv4_shell(victim, spoofed, IpProtocol::Tcp, seq as u16, tcp::HEADER_LEN);
+) {
+    ipv4_shell_into(buf, victim, spoofed, IpProtocol::Tcp, seq as u16, tcp::HEADER_LEN);
     {
         let mut ip = Ipv4Packet::new_unchecked(&mut buf[..]);
         let mut seg = TcpSegment::new_unchecked(ip.payload_mut());
@@ -119,7 +154,20 @@ fn tcp_response(
 
 /// An ICMP echo reply from the victim of a ping flood to a spoofed source.
 pub fn icmp_echo_reply(victim: Ipv4Addr, spoofed: Ipv4Addr, ident: u16, seq: u16) -> Vec<u8> {
-    let mut buf = ipv4_shell(victim, spoofed, IpProtocol::Icmp, seq, icmp::HEADER_LEN + 8);
+    let mut buf = Vec::new();
+    icmp_echo_reply_into(&mut buf, victim, spoofed, ident, seq);
+    buf
+}
+
+/// [`icmp_echo_reply`] into a reusable scratch buffer.
+pub fn icmp_echo_reply_into(
+    buf: &mut Vec<u8>,
+    victim: Ipv4Addr,
+    spoofed: Ipv4Addr,
+    ident: u16,
+    seq: u16,
+) {
+    ipv4_shell_into(buf, victim, spoofed, IpProtocol::Icmp, seq, icmp::HEADER_LEN + 8);
     {
         let mut ip = Ipv4Packet::new_unchecked(&mut buf[..]);
         let mut ic = Icmpv4Packet::new_unchecked(ip.payload_mut());
@@ -147,13 +195,38 @@ pub fn icmp_dest_unreachable(
     inner_dst_port: u16,
     code: u8,
 ) -> Vec<u8> {
-    // Quoted packet: IPv4 header + 8 bytes of transport header, per RFC 792.
-    let inner_len = ipv4::HEADER_LEN + 8;
-    let mut inner = vec![0u8; inner_len];
+    let mut buf = Vec::new();
+    icmp_dest_unreachable_into(
+        &mut buf,
+        victim,
+        spoofed,
+        inner_proto,
+        inner_src_port,
+        inner_dst_port,
+        code,
+    );
+    buf
+}
+
+/// [`icmp_dest_unreachable`] into a reusable scratch buffer.
+#[allow(clippy::too_many_arguments)]
+pub fn icmp_dest_unreachable_into(
+    buf: &mut Vec<u8>,
+    victim: Ipv4Addr,
+    spoofed: Ipv4Addr,
+    inner_proto: IpProtocol,
+    inner_src_port: u16,
+    inner_dst_port: u16,
+    code: u8,
+) {
+    // Quoted packet: IPv4 header + 8 bytes of transport header, per
+    // RFC 792 — a fixed size, so it fits on the stack.
+    const INNER_LEN: usize = ipv4::HEADER_LEN + 8;
+    let mut inner = [0u8; INNER_LEN];
     {
         let mut ip = Ipv4Packet::new_unchecked(&mut inner[..]);
         ip.init();
-        ip.set_total_len(inner_len as u16);
+        ip.set_total_len(INNER_LEN as u16);
         ip.set_protocol(inner_proto);
         ip.set_src(spoofed);
         ip.set_dst(victim);
@@ -166,12 +239,13 @@ pub fn icmp_dest_unreachable(
         }
     }
 
-    let mut buf = ipv4_shell(
+    ipv4_shell_into(
+        buf,
         victim,
         spoofed,
         IpProtocol::Icmp,
         0,
-        icmp::HEADER_LEN + inner_len,
+        icmp::HEADER_LEN + INNER_LEN,
     );
     {
         let mut ip = Ipv4Packet::new_unchecked(&mut buf[..]);
@@ -193,16 +267,29 @@ pub fn reflection_request(
     honeypot: Ipv4Addr,
     protocol: ReflectionProtocol,
 ) -> Vec<u8> {
-    let payload = reflect::encode_request(protocol);
+    let mut buf = Vec::new();
+    reflection_request_into(&mut buf, victim, victim_port, honeypot, protocol);
+    buf
+}
+
+/// [`reflection_request`] into a reusable scratch buffer.
+pub fn reflection_request_into(
+    buf: &mut Vec<u8>,
+    victim: Ipv4Addr,
+    victim_port: u16,
+    honeypot: Ipv4Addr,
+    protocol: ReflectionProtocol,
+) {
+    let payload = reflect::request_payload(protocol);
     let udp_len = udp::HEADER_LEN + payload.len();
-    let mut buf = ipv4_shell(victim, honeypot, IpProtocol::Udp, 0, udp_len);
+    ipv4_shell_into(buf, victim, honeypot, IpProtocol::Udp, 0, udp_len);
     {
         let mut ip = Ipv4Packet::new_unchecked(&mut buf[..]);
         let mut u = UdpDatagram::new_unchecked(ip.payload_mut());
         u.set_src_port(victim_port);
         u.set_dst_port(protocol.port());
         u.set_len(udp_len as u16);
-        u.payload_mut().copy_from_slice(&payload);
+        u.payload_mut().copy_from_slice(payload);
         u.fill_checksum(victim, honeypot);
     }
     finish_ip(buf)

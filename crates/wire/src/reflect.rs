@@ -50,6 +50,22 @@ pub fn encode_request(p: ReflectionProtocol) -> Vec<u8> {
     }
 }
 
+/// Borrowed request payload for `p`: identical bytes to
+/// [`encode_request`], but encoded once per process and shared, so the
+/// per-packet hot path never allocates for the payload.
+pub fn request_payload(p: ReflectionProtocol) -> &'static [u8] {
+    use std::sync::OnceLock;
+    static PAYLOADS: OnceLock<Vec<Vec<u8>>> = OnceLock::new();
+    let all = PAYLOADS.get_or_init(|| {
+        let mut v = vec![Vec::new(); ReflectionProtocol::ALL.len()];
+        for q in ReflectionProtocol::ALL {
+            v[q as usize] = encode_request(q);
+        }
+        v
+    });
+    &all[p as usize]
+}
+
 /// Classify a UDP payload received on `port`: is it a plausible abuse
 /// request for one of the emulated protocols?
 ///
@@ -221,6 +237,15 @@ mod tests {
                 Some(p),
                 "round-trip failed for {p:?}"
             );
+        }
+    }
+
+    #[test]
+    fn request_payload_matches_encode_request() {
+        for p in ALL {
+            assert_eq!(request_payload(p), encode_request(p).as_slice());
+            // Same borrow on every call: no per-call allocation.
+            assert_eq!(request_payload(p).as_ptr(), request_payload(p).as_ptr());
         }
     }
 

@@ -152,7 +152,7 @@ fn joint_incidents_recovered_by_correlation() {
     let world = world();
     let fw = world.framework();
     let enricher = dosscope_core::Enricher::new(fw.geo, fw.asdb);
-    let joint = dosscope_core::JointAnalysis::run(&fw.store, &enricher);
+    let joint = dosscope_core::JointAnalysis::run(fw.store, &enricher);
 
     // Every scripted joint incident (same target, overlapping windows,
     // one attack per infrastructure) must be visible to the correlation.

@@ -83,7 +83,7 @@ fn joint_correlation_consistency() {
     let world = world();
     let fw = world.framework();
     let enricher = Enricher::new(fw.geo, fw.asdb);
-    let joint = JointAnalysis::run(&fw.store, &enricher);
+    let joint = JointAnalysis::run(fw.store, &enricher);
     // Joint targets are a subset of common targets, which are a subset of
     // the smaller data set's target population.
     assert!(joint.joint_targets <= joint.common_targets);
@@ -109,7 +109,7 @@ fn third_source_coverage() {
     assert!(!world.botnet_events.is_empty());
     assert_eq!(world.botmon_stats.orphan_stops, 0);
     let coverage = dosscope_core::coverage::CoverageStats::analyze(
-        &world.framework().store,
+        world.framework().store,
         &world.botnet_events,
     );
     assert_eq!(coverage.botnet_events, world.botnet_events.len() as u64);
@@ -203,7 +203,7 @@ fn streaming_fusion_matches_batch() {
     // The live joint correlation agrees with the batch sweep.
     let fw = world.framework();
     let enricher = Enricher::new(fw.geo, fw.asdb);
-    let joint = JointAnalysis::run(&fw.store, &enricher);
+    let joint = JointAnalysis::run(fw.store, &enricher);
     assert_eq!(snap.joint_targets, joint.joint_targets);
 }
 
