@@ -1,123 +1,139 @@
-//! Sharded parallel variant of the honeypot-fleet event inference.
+//! Sharded parallel variant of the honeypot-fleet event inference, on the
+//! persistent worker pool.
 //!
-//! Request batches are partitioned by the *victim's* /16 shard (the
-//! spoofed source of an abuse request IS the victim) and each shard runs
-//! an independent [`AmpPotFleet`] on its own thread. Every piece of fleet
-//! state is victim-local — open events are keyed by (victim, protocol,
-//! honeypot), the reply rate limiter counts per (victim, minute), and the
-//! fleet merge groups per (victim, protocol) — so a shard sees every
-//! request of every event it owns, in order, and the merged result is
-//! byte-identical to a serial run. The final ordering is the serial
-//! fleet's own canonical `(start, target, protocol)` sort, and every
-//! [`FleetStats`] counter is a per-batch or per-event sum.
+//! Request batches are routed by the *victim's* address (the spoofed
+//! source of an abuse request IS the victim) and each shard's
+//! [`AmpPotFleet`] lives on a long-lived [`ShardPool`] worker for the
+//! whole run — no thread spawn per chunk, no per-chunk re-partitioning.
+//! A chunk is shared with every worker as one [`Routed`] view. Every
+//! piece of fleet state is victim-local — open events are keyed by
+//! (victim, protocol, honeypot), the reply rate limiter counts per
+//! (victim, minute), and the fleet merge groups per (victim, protocol) —
+//! so a shard sees every request of every event it owns, in order, and
+//! the single merge at [`ShardedFleet::finish`] is byte-identical to a
+//! serial run. The final ordering is the serial fleet's own canonical
+//! `(start, target, protocol)` sort, and every [`FleetStats`] counter is
+//! a per-batch or per-event sum.
 
 use crate::event::RequestBatch;
 use crate::fleet::{AmpPotFleet, FleetStats};
-use dosscope_types::{shard_of, AttackEvent};
-use dosscope_wire::Ipv4Packet;
+use dosscope_types::{shard_of_addr, AttackEvent, Routed, ShardPool};
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+/// Bounded per-worker queue depth (see `dosscope_types::pool`).
+const QUEUE_DEPTH: usize = 4;
 
 /// The shard owning a raw request, by victim (= spoofed source) address.
-/// Unparseable batches go to shard 0, whose fleet counts them as
-/// malformed exactly as the serial fleet would.
+/// Like `dosscope_telescope::victim_shard`, this reads the source address
+/// straight from the fixed header offset — routing needs a deterministic,
+/// victim-local assignment, not a validated packet; the shard's fleet
+/// re-validates and counts malformed batches exactly as the serial fleet
+/// would. Fleet state is keyed by the complete victim address and the
+/// merge only sums counters, so the full-address key
+/// ([`shard_of_addr`]) is safe here and spreads a hot hosting /16 across
+/// all shards. Batches too short to carry an IPv4 source go to shard 0.
 pub fn request_shard(bytes: &[u8], shards: usize) -> usize {
-    match Ipv4Packet::new_checked(bytes) {
-        Ok(ip) => shard_of(ip.src(), shards),
-        Err(_) => 0,
+    match bytes.get(12..16) {
+        Some(src) if bytes[0] >> 4 == 4 => {
+            shard_of_addr(Ipv4Addr::new(src[0], src[1], src[2], src[3]), shards)
+        }
+        _ => 0,
     }
 }
 
-/// Split a time-ordered request stream into per-shard streams, preserving
-/// relative order within each shard.
-pub fn partition_requests(batches: Vec<RequestBatch>, shards: usize) -> Vec<Vec<RequestBatch>> {
+/// Route a time-ordered chunk of the request stream by victim shard,
+/// without copying any batch. Relative order within each shard is
+/// preserved.
+pub fn route_requests(batches: Arc<Vec<RequestBatch>>, shards: usize) -> Routed<RequestBatch> {
     let shards = shards.max(1);
-    let mut parts: Vec<Vec<RequestBatch>> = (0..shards).map(|_| Vec::new()).collect();
-    for b in batches {
-        let s = request_shard(&b.bytes, shards);
-        parts[s].push(b);
-    }
-    parts
+    Routed::build(batches, shards, |b| request_shard(&b.bytes, shards))
 }
 
-/// The parallel fleet engine: N independent fleets over victim shards.
-///
-/// Each shard holds its own copy of the honeypot instances; that is
-/// faithful because the only per-honeypot state, the reply rate limiter,
-/// counts per (victim, minute) and a victim's requests all live in one
-/// shard.
+/// One shard: its own fleet replica plus a peak open-event sample. Each
+/// shard holding its own copy of the honeypot instances is faithful
+/// because the only per-honeypot state, the reply rate limiter, counts
+/// per (victim, minute) and a victim's requests all live in one shard.
+struct FleetLane {
+    fleet: AmpPotFleet,
+    peak_open_events: usize,
+}
+
+/// Per-shard result: events, statistics, peak open events.
+type LaneOutput = (Vec<AttackEvent>, FleetStats, u64);
+
+/// The parallel fleet engine: N independent fleets over victim shards,
+/// each living on a persistent pool worker.
 pub struct ShardedFleet {
-    shards: Vec<AmpPotFleet>,
+    pool: ShardPool<Routed<RequestBatch>, FleetLane, LaneOutput>,
+    shards: usize,
 }
 
 impl ShardedFleet {
-    /// `shards` standard 24-instance fleets (0 is treated as 1).
+    /// `shards` standard 24-instance fleets (0 is treated as 1), one pool
+    /// worker per shard.
     pub fn standard(shards: usize) -> ShardedFleet {
-        ShardedFleet {
-            shards: (0..shards.max(1)).map(|_| AmpPotFleet::standard()).collect(),
-        }
+        let shards = shards.max(1);
+        let pool = ShardPool::new(
+            shards,
+            shards,
+            QUEUE_DEPTH,
+            |_| FleetLane {
+                fleet: AmpPotFleet::standard(),
+                peak_open_events: 0,
+            },
+            |lane: &mut FleetLane, shard, _shards, routed: &Routed<RequestBatch>| {
+                for b in routed.owned(shard) {
+                    lane.fleet.ingest(b);
+                }
+                lane.peak_open_events = lane.peak_open_events.max(lane.fleet.open_events());
+            },
+            |lane: FleetLane| {
+                let (events, stats) = lane.fleet.finish();
+                (events, stats, lane.peak_open_events as u64)
+            },
+        );
+        ShardedFleet { pool, shards }
     }
 
     /// Number of shards.
     pub fn shards(&self) -> usize {
-        self.shards.len()
+        self.shards
     }
 
-    /// Ingest one pre-partitioned chunk of the stream (one entry per
-    /// shard, as produced by [`partition_requests`]), one worker thread
-    /// per shard. Chunks must arrive in time order, like the serial
-    /// stream.
-    pub fn ingest_partitioned(&mut self, parts: &[Vec<RequestBatch>]) {
+    /// Ingest one pre-routed chunk of the stream (as produced by
+    /// [`route_requests`] for this engine's shard count). Chunks must
+    /// arrive in time order, like the serial stream.
+    pub fn ingest_routed(&mut self, routed: Routed<RequestBatch>) {
         assert_eq!(
-            parts.len(),
-            self.shards.len(),
-            "partition count must match shard count"
+            routed.shards(),
+            self.shards,
+            "chunk routed for a different shard count"
         );
-        if self.shards.len() == 1 {
-            for b in &parts[0] {
-                self.shards[0].ingest(b);
-            }
-            return;
-        }
-        std::thread::scope(|s| {
-            for (fleet, batches) in self.shards.iter_mut().zip(parts) {
-                s.spawn(move || {
-                    for b in batches {
-                        fleet.ingest(b);
-                    }
-                });
-            }
-        });
+        self.pool
+            .dispatch(routed)
+            .expect("ingest on a finished engine");
     }
 
-    /// Partition and ingest one time-ordered chunk of the stream.
+    /// Route and ingest one time-ordered chunk of the stream.
     pub fn ingest(&mut self, batches: Vec<RequestBatch>) {
-        let parts = partition_requests(batches, self.shards.len());
-        self.ingest_partitioned(&parts);
+        self.ingest_routed(route_requests(Arc::new(batches), self.shards));
     }
 
-    /// End of trace: finish every shard (in parallel), merge events into
-    /// the canonical `(start, target, protocol)` order and sum the
-    /// statistics.
-    pub fn finish(self) -> (Vec<AttackEvent>, FleetStats) {
-        let parallel = self.shards.len() > 1;
-        let results: Vec<(Vec<AttackEvent>, FleetStats)> = if parallel {
-            std::thread::scope(|s| {
-                let handles: Vec<_> = self
-                    .shards
-                    .into_iter()
-                    .map(|fleet| s.spawn(move || fleet.finish()))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("fleet shard worker panicked"))
-                    .collect()
-            })
-        } else {
-            self.shards.into_iter().map(|f| f.finish()).collect()
-        };
-
+    /// End of trace: drain and finish every shard on its own worker, then
+    /// merge once — events into the canonical `(start, target, protocol)`
+    /// order, statistics summed, and the peak open-event working set
+    /// summed over shards (the shards run concurrently, so the sum bounds
+    /// the process-wide peak).
+    pub fn finish(mut self) -> (Vec<AttackEvent>, FleetStats, u64) {
+        let results = self
+            .pool
+            .shutdown()
+            .expect("finish on a finished engine");
         let mut events = Vec::new();
         let mut stats = FleetStats::default();
-        for (ev, st) in results {
+        let mut peak = 0u64;
+        for (ev, st, pk) in results {
             events.extend(ev);
             stats.malformed += st.malformed;
             stats.unrecognised += st.unrecognised;
@@ -126,9 +142,10 @@ impl ShardedFleet {
             stats.pot_events += st.pot_events;
             stats.scan_filtered += st.scan_filtered;
             stats.events += st.events;
+            peak += pk;
         }
         events.sort_by_key(|e| (e.when.start, e.target, e.reflection_protocol()));
-        (events, stats)
+        (events, stats, peak)
     }
 }
 
@@ -200,7 +217,7 @@ mod tests {
         for shards in [1, 2, 5, 8] {
             let mut engine = ShardedFleet::standard(shards);
             engine.ingest(mixed_stream());
-            let (events, stats) = engine.finish();
+            let (events, stats, peak) = engine.finish();
             assert_eq!(events, serial_events, "{shards} shards: events differ");
             assert_eq!(stats.malformed, serial_stats.malformed);
             assert_eq!(stats.unrecognised, serial_stats.unrecognised);
@@ -208,6 +225,7 @@ mod tests {
             assert_eq!(stats.replies_sent, serial_stats.replies_sent);
             assert_eq!(stats.scan_filtered, serial_stats.scan_filtered);
             assert_eq!(stats.events, serial_stats.events);
+            assert!(peak > 0, "{shards} shards: peak working set sampled");
         }
     }
 
@@ -216,23 +234,24 @@ mod tests {
         let stream = mixed_stream();
         let mut whole = ShardedFleet::standard(4);
         whole.ingest(stream.clone());
-        let (a, _) = whole.finish();
+        let (a, _, _) = whole.finish();
 
         let mut chunked = ShardedFleet::standard(4);
         for chunk in stream.chunks(131) {
             chunked.ingest(chunk.to_vec());
         }
-        let (b, _) = chunked.finish();
+        let (b, _, _) = chunked.finish();
         assert_eq!(a, b);
     }
 
     #[test]
-    fn malformed_requests_go_to_shard_zero() {
+    fn malformed_requests_route_to_shard_zero() {
         assert_eq!(request_shard(&[0x01; 4], 6), 0);
-        let parts = partition_requests(
-            vec![RequestBatch::repeated(HoneypotId(0), SimTime(0), 1, vec![0x01; 4])],
+        let routed = route_requests(
+            Arc::new(vec![RequestBatch::repeated(HoneypotId(0), SimTime(0), 1, vec![0x01; 4])]),
             6,
         );
-        assert_eq!(parts[0].len(), 1);
+        assert_eq!(routed.owned_len(0), 1);
+        assert_eq!((0..6).map(|s| routed.owned_len(s)).sum::<usize>(), 1);
     }
 }

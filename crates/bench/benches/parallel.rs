@@ -1,8 +1,9 @@
 //! Sharded-pipeline benchmarks: the component measurement pipelines
 //! (telescope detector, honeypot fleet) driven serially (1 shard) and in
 //! parallel (2 and 8 shards), over the same pre-rendered multi-day
-//! workload. The partitioned input is prepared outside the timing loop,
-//! so the numbers isolate the detection work itself.
+//! workload. The routed input (per-shard index views over one shared
+//! chunk) is prepared outside the timing loop, so the numbers isolate the
+//! detection work itself.
 //!
 //! Results are byte-identical at every shard count (that is the pipeline's
 //! headline guarantee, see DESIGN.md "Concurrency model"); the point of
@@ -11,12 +12,12 @@
 //! container the shard counts tie, the workers merely interleave.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use dosscope_amppot::{partition_requests, AmpPotFleet, RequestBatch, ShardedFleet};
+use dosscope_amppot::{route_requests, AmpPotFleet, RequestBatch, ShardedFleet};
 use dosscope_attackgen::Renderer;
 use dosscope_harness::{Scenario, ScenarioConfig};
-use dosscope_telescope::{partition_batches, PacketBatch, ShardedRsdos, Telescope};
+use dosscope_telescope::{route_batches, PacketBatch, ShardedRsdos, Telescope};
 use dosscope_types::DayIndex;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 const SHARD_COUNTS: [usize; 3] = [1, 2, 8];
 
@@ -26,7 +27,7 @@ fn workload() -> &'static (Vec<PacketBatch>, Vec<RequestBatch>) {
     static WORKLOAD: OnceLock<(Vec<PacketBatch>, Vec<RequestBatch>)> = OnceLock::new();
     WORKLOAD.get_or_init(|| {
         // A heavier stream than the other benches: per-iteration work must
-        // dwarf the ~100 µs it costs to spawn and join 8 scoped workers.
+        // dwarf the cost of standing up and draining the 8-worker pool.
         let config = ScenarioConfig {
             scale: 2_000.0,
             ..ScenarioConfig::default()
@@ -61,11 +62,11 @@ fn bench_sharded_telescope(c: &mut Criterion) {
     g.throughput(Throughput::Elements(packets.len() as u64));
     g.sample_size(10);
     for shards in SHARD_COUNTS {
-        let parts = partition_batches(packets.clone(), shards);
+        let routed = route_batches(Arc::new(packets.clone()), shards);
         g.bench_function(&format!("shards={shards}"), |b| {
             b.iter(|| {
                 let mut rsdos = ShardedRsdos::with_defaults(Telescope::default_slash8(), shards);
-                rsdos.ingest_partitioned(&parts);
+                rsdos.ingest_routed(routed.clone());
                 rsdos.finish()
             })
         });
@@ -79,11 +80,11 @@ fn bench_sharded_honeypot(c: &mut Criterion) {
     g.throughput(Throughput::Elements(requests.len() as u64));
     g.sample_size(10);
     for shards in SHARD_COUNTS {
-        let parts = partition_requests(requests.clone(), shards);
+        let routed = route_requests(Arc::new(requests.clone()), shards);
         g.bench_function(&format!("shards={shards}"), |b| {
             b.iter(|| {
                 let mut fleet = ShardedFleet::standard(shards);
-                fleet.ingest_partitioned(&parts);
+                fleet.ingest_routed(routed.clone());
                 fleet.finish()
             })
         });

@@ -51,7 +51,8 @@ pub mod webimpact;
 
 pub use correlate::{JointAnalysis, JointStats};
 pub use enrich::{EnrichedEvent, Enricher};
-pub use sharded::{ShardedEventStore, ShardedFusion};
+pub use sharded::{route_events, ShardedEventStore, ShardedFusion};
+pub use streaming::{FusionState, StreamingFusion, StreamingSnapshot};
 pub use store::{EventStore, SourceSummary};
 
 use dosscope_dns::{OrgCatalog, ZoneStore};

@@ -1,9 +1,12 @@
-//! Sharded variants of the fusion layer: [`ShardedEventStore`] and
-//! [`ShardedFusion`].
+//! Sharded variants of the fusion layer on the persistent worker pool:
+//! [`ShardedEventStore`] and [`ShardedFusion`].
 //!
-//! Events are partitioned by the target's /16 shard ([`shard_of`]), the
-//! same key the parallel measurement pipelines use, so per-shard
-//! accumulators merge into exactly the serial aggregates:
+//! Events are routed by the target's /16 shard ([`shard_of`]), the same
+//! key the parallel measurement pipelines use, and each shard's
+//! accumulators live on a long-lived [`ShardPool`] worker. Queries run as
+//! pool barriers — a closure visits every shard's state in place, after
+//! all previously dispatched chunks — and merge exactly once into the
+//! serial aggregates:
 //!
 //! * events, targets, /24s and /16s are additive — a /16 (and every /24
 //!   inside it) lives wholly in one shard, so per-shard distinct counts
@@ -14,17 +17,24 @@
 //! * `last_day` is the maximum over shards.
 
 use crate::store::{EventStore, SourceSummary};
-use crate::streaming::{StreamingFusion, StreamingSnapshot};
-use dosscope_types::{shard_of, AttackEvent, DayIndex, EventSource, TimeSeries};
+use crate::streaming::{FusionState, StreamingSnapshot};
+use dosscope_geo::AsDb;
+use dosscope_types::{
+    shard_of, AttackEvent, DayIndex, EventSource, FastMap, Routed, ShardPool, TimeSeries,
+};
 use std::collections::HashSet;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
 
-fn partition_events(events: Vec<AttackEvent>, shards: usize) -> Vec<Vec<AttackEvent>> {
-    let mut parts: Vec<Vec<AttackEvent>> = (0..shards).map(|_| Vec::new()).collect();
-    for e in events {
-        let s = shard_of(e.target, shards);
-        parts[s].push(e);
-    }
-    parts
+/// Bounded per-worker queue depth (see `dosscope_types::pool`).
+const QUEUE_DEPTH: usize = 4;
+
+/// Route a chunk of events by target shard, without copying any event.
+/// Relative order within each shard is preserved, which is what the live
+/// joint correlation and pruning depend on.
+pub fn route_events(events: Arc<Vec<AttackEvent>>, shards: usize) -> Routed<AttackEvent> {
+    let shards = shards.max(1);
+    Routed::build(events, shards, |e| shard_of(e.target, shards))
 }
 
 fn add_summaries(a: SourceSummary, b: SourceSummary) -> SourceSummary {
@@ -36,88 +46,110 @@ fn add_summaries(a: SourceSummary, b: SourceSummary) -> SourceSummary {
     }
 }
 
-/// An event store split into target shards; aggregates merge additively.
-#[derive(Debug)]
+/// An event store split into target shards, one pool worker per shard;
+/// aggregates merge additively at query barriers.
 pub struct ShardedEventStore {
-    shards: Vec<EventStore>,
+    pool: ShardPool<(EventSource, Routed<AttackEvent>), EventStore, EventStore>,
+    shards: usize,
 }
 
 impl ShardedEventStore {
     /// A store with `shards` shards (0 is treated as 1).
     pub fn new(shards: usize) -> ShardedEventStore {
-        ShardedEventStore {
-            shards: (0..shards.max(1)).map(|_| EventStore::new()).collect(),
-        }
+        let shards = shards.max(1);
+        let pool = ShardPool::new(
+            shards,
+            shards,
+            QUEUE_DEPTH,
+            |_| EventStore::new(),
+            |store: &mut EventStore, shard, _shards, job: &(EventSource, Routed<AttackEvent>)| {
+                let (source, routed) = job;
+                let events: Vec<AttackEvent> = routed.owned(shard).cloned().collect();
+                match source {
+                    EventSource::Telescope => store.ingest_telescope(events),
+                    EventSource::Honeypot => store.ingest_honeypot(events),
+                }
+            },
+            |store: EventStore| store,
+        );
+        ShardedEventStore { pool, shards }
     }
 
     /// Number of shards.
     pub fn shards(&self) -> usize {
-        self.shards.len()
+        self.shards
     }
 
-    /// Ingest telescope events: partition by target, then sort per shard
-    /// (in parallel for more than one shard).
+    /// Ingest telescope events: route by target, each shard sorts its own
+    /// slice on its worker.
     pub fn ingest_telescope(&mut self, events: Vec<AttackEvent>) {
-        self.ingest_with(events, EventStore::ingest_telescope);
+        self.ingest_with(EventSource::Telescope, events);
     }
 
     /// Ingest honeypot events, same scheme.
     pub fn ingest_honeypot(&mut self, events: Vec<AttackEvent>) {
-        self.ingest_with(events, EventStore::ingest_honeypot);
+        self.ingest_with(EventSource::Honeypot, events);
     }
 
-    fn ingest_with(&mut self, events: Vec<AttackEvent>, f: fn(&mut EventStore, Vec<AttackEvent>)) {
-        let parts = partition_events(events, self.shards.len());
-        if self.shards.len() == 1 {
-            let [part] = <[_; 1]>::try_from(parts).expect("one shard");
-            f(&mut self.shards[0], part);
-            return;
-        }
-        std::thread::scope(|s| {
-            for (store, part) in self.shards.iter_mut().zip(parts) {
-                s.spawn(move || f(store, part));
-            }
-        });
+    fn ingest_with(&mut self, source: EventSource, events: Vec<AttackEvent>) {
+        let routed = route_events(Arc::new(events), self.shards);
+        self.pool
+            .dispatch((source, routed))
+            .expect("ingest on a collapsed store");
     }
 
     /// Total event count over all shards.
-    pub fn len(&self) -> usize {
-        self.shards.iter().map(EventStore::len).sum()
+    pub fn len(&mut self) -> usize {
+        self.pool
+            .barrier(|s: &mut EventStore| s.len())
+            .expect("query on a collapsed store")
+            .into_iter()
+            .sum()
     }
 
     /// True when nothing was ingested.
-    pub fn is_empty(&self) -> bool {
+    pub fn is_empty(&mut self) -> bool {
         self.len() == 0
     }
 
     /// The Table 1 aggregate for one source, merged over shards.
-    pub fn summary(&self, source: EventSource) -> SourceSummary {
-        self.shards
-            .iter()
-            .map(|s| s.summary(source))
+    pub fn summary(&mut self, source: EventSource) -> SourceSummary {
+        self.pool
+            .barrier(move |s: &mut EventStore| s.summary(source))
+            .expect("query on a collapsed store")
+            .into_iter()
             .fold(SourceSummary::default(), add_summaries)
     }
 
     /// The Table 1 aggregate for the combined data, merged over shards.
-    pub fn summary_combined(&self) -> SourceSummary {
-        self.shards
-            .iter()
-            .map(EventStore::summary_combined)
+    pub fn summary_combined(&mut self) -> SourceSummary {
+        self.pool
+            .barrier(|s: &mut EventStore| s.summary_combined())
+            .expect("query on a collapsed store")
+            .into_iter()
             .fold(SourceSummary::default(), add_summaries)
     }
 
     /// Unique targets common to both sources (target-local, so the
     /// per-shard intersections sum).
-    pub fn common_targets(&self) -> u64 {
-        self.shards.iter().map(EventStore::common_targets).sum()
+    pub fn common_targets(&mut self) -> u64 {
+        self.pool
+            .barrier(|s: &mut EventStore| s.common_targets())
+            .expect("query on a collapsed store")
+            .into_iter()
+            .sum()
     }
 
     /// Collapse into one [`EventStore`] holding every event in the serial
     /// store's canonical order.
-    pub fn into_store(self) -> EventStore {
+    pub fn into_store(mut self) -> EventStore {
+        let shards = self
+            .pool
+            .shutdown()
+            .expect("store collapsed twice");
         let mut tele = Vec::new();
         let mut hp = Vec::new();
-        for shard in self.shards {
+        for shard in shards {
             tele.extend(shard.telescope().to_vec());
             hp.extend(shard.honeypot().to_vec());
         }
@@ -128,68 +160,107 @@ impl ShardedEventStore {
     }
 }
 
-/// A streaming fusion engine split into target shards; a
-/// [`ShardedFusion::snapshot`] merges the per-shard accumulators into the
-/// exact serial [`StreamingSnapshot`].
-pub struct ShardedFusion<'a> {
-    shards: Vec<StreamingFusion<'a>>,
+/// One fusion shard: its accumulators plus a worker-local AS memo (the
+/// serial engine shares one mutex-guarded cache; a pool worker needs no
+/// lock because a target's /16 — and hence every event for it — belongs
+/// to exactly one shard).
+struct FusionLane {
+    state: FusionState,
+    asdb: Arc<AsDb>,
+    asn_memo: FastMap<Ipv4Addr, Option<u32>>,
 }
 
-impl<'a> ShardedFusion<'a> {
+impl FusionLane {
+    fn push(&mut self, event: &AttackEvent) {
+        let asdb = &self.asdb;
+        let asn = *self
+            .asn_memo
+            .entry(event.target)
+            .or_insert_with(|| asdb.asn_of(event.target).map(|a| a.0));
+        self.state.push(event, asn);
+    }
+}
+
+/// A streaming fusion engine split into target shards, one pool worker
+/// per shard; a [`ShardedFusion::snapshot`] barrier merges the per-shard
+/// accumulators into the exact serial [`StreamingSnapshot`].
+///
+/// Only the AS database is consulted during fusion (country enrichment
+/// happens at report time), so that is all the engine takes.
+pub struct ShardedFusion {
+    pool: ShardPool<Routed<AttackEvent>, FusionLane, ()>,
+    shards: usize,
+}
+
+impl ShardedFusion {
     /// A fusion engine with `shards` shards (0 is treated as 1) over the
-    /// shared metadata databases.
-    pub fn new(
-        geo: &'a dosscope_geo::GeoDb,
-        asdb: &'a dosscope_geo::AsDb,
-        days: u32,
-        shards: usize,
-    ) -> ShardedFusion<'a> {
-        ShardedFusion {
-            shards: (0..shards.max(1))
-                .map(|_| StreamingFusion::new(geo, asdb, days))
-                .collect(),
-        }
+    /// shared AS database, covering `days`.
+    pub fn new(asdb: Arc<AsDb>, days: u32, shards: usize) -> ShardedFusion {
+        let shards = shards.max(1);
+        let pool = ShardPool::new(
+            shards,
+            shards,
+            QUEUE_DEPTH,
+            move |_| FusionLane {
+                state: FusionState::new(days),
+                asdb: asdb.clone(),
+                asn_memo: FastMap::default(),
+            },
+            |lane: &mut FusionLane, shard, _shards, routed: &Routed<AttackEvent>| {
+                for e in routed.owned(shard) {
+                    lane.push(e);
+                }
+            },
+            |_| (),
+        );
+        ShardedFusion { pool, shards }
     }
 
     /// Number of shards.
     pub fn shards(&self) -> usize {
-        self.shards.len()
+        self.shards
     }
 
-    /// Route one event to its target's shard.
+    /// Route one event to its target's shard (only the owning worker is
+    /// woken).
     pub fn push(&mut self, event: &AttackEvent) {
-        let s = shard_of(event.target, self.shards.len());
-        self.shards[s].push(event);
+        let shard = shard_of(event.target, self.shards);
+        let routed = route_events(Arc::new(vec![event.clone()]), self.shards);
+        self.pool
+            .dispatch_to(shard, routed)
+            .expect("push on a poisoned engine");
     }
 
-    /// Ingest a chunk of events, one worker thread per shard. Within a
-    /// shard the original order is preserved, which is what the live
-    /// joint correlation and pruning depend on.
+    /// Ingest a pre-routed chunk of events (as produced by
+    /// [`route_events`] for this engine's shard count).
+    pub fn push_routed(&mut self, routed: Routed<AttackEvent>) {
+        assert_eq!(
+            routed.shards(),
+            self.shards,
+            "chunk routed for a different shard count"
+        );
+        self.pool
+            .dispatch(routed)
+            .expect("push on a poisoned engine");
+    }
+
+    /// Route and ingest a chunk of events. Within a shard the original
+    /// order is preserved, which is what the live joint correlation and
+    /// pruning depend on.
     pub fn push_all(&mut self, events: &[AttackEvent]) {
-        let n = self.shards.len();
-        if n == 1 {
-            for e in events {
-                self.shards[0].push(e);
-            }
-            return;
-        }
-        let mut parts: Vec<Vec<&AttackEvent>> = (0..n).map(|_| Vec::new()).collect();
-        for e in events {
-            parts[shard_of(e.target, n)].push(e);
-        }
-        std::thread::scope(|s| {
-            for (fusion, part) in self.shards.iter_mut().zip(parts) {
-                s.spawn(move || {
-                    for e in part {
-                        fusion.push(e);
-                    }
-                });
-            }
-        });
+        self.push_routed(route_events(Arc::new(events.to_vec()), self.shards));
     }
 
-    /// The current fused state, merged over shards.
-    pub fn snapshot(&self) -> StreamingSnapshot {
+    /// The current fused state, merged once over shards (a barrier: runs
+    /// after everything pushed so far).
+    pub fn snapshot(&mut self) -> StreamingSnapshot {
+        let parts = self
+            .pool
+            .barrier(|lane: &mut FusionLane| {
+                let asns: Vec<u32> = lane.state.combined_asn_set().iter().copied().collect();
+                (lane.state.snapshot(), asns)
+            })
+            .expect("query on a poisoned engine");
         let mut asns: HashSet<u32> = HashSet::new();
         let mut merged = StreamingSnapshot {
             telescope: SourceSummary::default(),
@@ -201,8 +272,7 @@ impl<'a> ShardedFusion<'a> {
             asns: 0,
             last_day: None,
         };
-        for shard in &self.shards {
-            let snap = shard.snapshot();
+        for (snap, shard_asns) in parts {
             merged.telescope = add_summaries(merged.telescope, snap.telescope);
             merged.honeypot = add_summaries(merged.honeypot, snap.honeypot);
             merged.combined_targets += snap.combined_targets;
@@ -213,23 +283,23 @@ impl<'a> ShardedFusion<'a> {
                 (Some(a), Some(b)) => Some(a.max(b)),
                 (a, b) => a.or(b),
             };
-            asns.extend(shard.combined_asn_set());
+            asns.extend(shard_asns);
         }
         merged.asns = asns.len() as u64;
         merged
     }
 
     /// Attacks per day, summed over shards.
-    pub fn daily_attacks(&self) -> TimeSeries {
-        let days = self
-            .shards
-            .first()
-            .map(|s| s.daily_attacks().days())
-            .unwrap_or(0);
+    pub fn daily_attacks(&mut self) -> TimeSeries {
+        let parts = self
+            .pool
+            .barrier(|lane: &mut FusionLane| lane.state.daily_attacks().values().to_vec())
+            .expect("query on a poisoned engine");
+        let days = parts.first().map(|v| v.len() as u32).unwrap_or(0);
         let mut merged = TimeSeries::zeros(days);
-        for shard in &self.shards {
-            for (i, v) in shard.daily_attacks().values().iter().enumerate() {
-                merged.add(DayIndex(i as u32), *v);
+        for values in parts {
+            for (i, v) in values.into_iter().enumerate() {
+                merged.add(DayIndex(i as u32), v);
             }
         }
         merged
@@ -237,14 +307,19 @@ impl<'a> ShardedFusion<'a> {
 
     /// Unique targets on one day, summed over shards (targets are
     /// shard-disjoint).
-    pub fn targets_on(&self, day: DayIndex) -> u64 {
-        self.shards.iter().map(|s| s.targets_on(day)).sum()
+    pub fn targets_on(&mut self, day: DayIndex) -> u64 {
+        self.pool
+            .barrier(move |lane: &mut FusionLane| lane.state.targets_on(day))
+            .expect("query on a poisoned engine")
+            .into_iter()
+            .sum()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::streaming::StreamingFusion;
     use dosscope_geo::{AsDb, GeoDb};
     use dosscope_types::{
         AttackVector, PortSignature, ReflectionProtocol, SimTime, TimeRange, TransportProto,
@@ -330,14 +405,14 @@ mod tests {
         let mut all: Vec<AttackEvent> = t.into_iter().chain(h).collect();
         all.sort_by_key(|e| (e.when.start, e.target));
         let geo = GeoDb::new();
-        let asdb = AsDb::new();
+        let asdb = Arc::new(AsDb::new());
         let mut serial = StreamingFusion::new(&geo, &asdb, 731);
         for e in &all {
             serial.push(e);
         }
         let expect = serial.snapshot();
         for shards in [1, 2, 4, 8] {
-            let mut sharded = ShardedFusion::new(&geo, &asdb, 731, shards);
+            let mut sharded = ShardedFusion::new(asdb.clone(), 731, shards);
             sharded.push_all(&all);
             let snap = sharded.snapshot();
             assert_eq!(snap.telescope, expect.telescope, "{shards} shards");
@@ -361,10 +436,9 @@ mod tests {
         let (t, h) = sample_events();
         let mut all: Vec<AttackEvent> = t.into_iter().chain(h).collect();
         all.sort_by_key(|e| (e.when.start, e.target));
-        let geo = GeoDb::new();
-        let asdb = AsDb::new();
-        let mut one = ShardedFusion::new(&geo, &asdb, 731, 4);
-        let mut other = ShardedFusion::new(&geo, &asdb, 731, 4);
+        let asdb = Arc::new(AsDb::new());
+        let mut one = ShardedFusion::new(asdb.clone(), 731, 4);
+        let mut other = ShardedFusion::new(asdb, 731, 4);
         one.push_all(&all);
         for e in &all {
             other.push(e);
@@ -373,5 +447,29 @@ mod tests {
         assert_eq!(a.combined_events, b.combined_events);
         assert_eq!(a.joint_targets, b.joint_targets);
         assert_eq!(a.common_targets, b.common_targets);
+    }
+
+    #[test]
+    fn snapshot_after_every_chunk_stays_consistent() {
+        // Interleave ingestion and barriers: each snapshot must reflect
+        // exactly the chunks dispatched before it.
+        let (t, h) = sample_events();
+        let mut all: Vec<AttackEvent> = t.into_iter().chain(h).collect();
+        all.sort_by_key(|e| (e.when.start, e.target));
+        let asdb = Arc::new(AsDb::new());
+        let mut sharded = ShardedFusion::new(asdb.clone(), 731, 4);
+        let geo = GeoDb::new();
+        let mut serial = StreamingFusion::new(&geo, &asdb, 731);
+        let mut pushed = 0u64;
+        for chunk in all.chunks(7) {
+            sharded.push_all(chunk);
+            for e in chunk {
+                serial.push(e);
+            }
+            pushed += chunk.len() as u64;
+            let snap = sharded.snapshot();
+            assert_eq!(snap.combined_events, pushed);
+            assert_eq!(snap.joint_targets, serial.snapshot().joint_targets);
+        }
     }
 }

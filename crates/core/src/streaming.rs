@@ -63,9 +63,13 @@ pub struct StreamingSnapshot {
     pub last_day: Option<DayIndex>,
 }
 
-/// The incremental fusion engine.
-pub struct StreamingFusion<'a> {
-    enricher: Enricher<'a>,
+/// The fusion accumulators themselves, with no tie to the metadata
+/// databases: an owned, `'static`, [`Send`] value, so a sharded engine can
+/// move one onto each long-lived pool worker (see
+/// [`crate::sharded::ShardedFusion`]). The caller supplies the target's
+/// origin AS with each event — [`StreamingFusion`] resolves it through the
+/// shared [`Enricher`] cache, pool workers through a worker-local memo.
+pub struct FusionState {
     tele: SourceAccum,
     hp: SourceAccum,
     combined_targets: HashSet<Ipv4Addr>,
@@ -81,15 +85,16 @@ pub struct StreamingFusion<'a> {
     newest_start: u64,
 }
 
-impl<'a> StreamingFusion<'a> {
-    /// A fusion engine over the metadata databases, covering `days`.
-    pub fn new(
-        geo: &'a dosscope_geo::GeoDb,
-        asdb: &'a dosscope_geo::AsDb,
-        days: u32,
-    ) -> StreamingFusion<'a> {
-        StreamingFusion {
-            enricher: Enricher::new(geo, asdb),
+/// The incremental fusion engine.
+pub struct StreamingFusion<'a> {
+    enricher: Enricher<'a>,
+    state: FusionState,
+}
+
+impl FusionState {
+    /// Empty accumulators covering `days`.
+    pub fn new(days: u32) -> FusionState {
+        FusionState {
             tele: SourceAccum::default(),
             hp: SourceAccum::default(),
             combined_targets: HashSet::new(),
@@ -105,10 +110,9 @@ impl<'a> StreamingFusion<'a> {
         }
     }
 
-    /// Ingest one event as it is emitted by either detector.
-    pub fn push(&mut self, event: &AttackEvent) {
+    /// Ingest one event, with the target's origin AS already resolved.
+    pub fn push(&mut self, event: &AttackEvent, asn: Option<u32>) {
         let source = event.source();
-        let (_, asn) = self.enricher.lookup(event.target);
 
         // Live joint correlation first: does this event overlap any open
         // window of the *other* source on the same target?
@@ -133,8 +137,8 @@ impl<'a> StreamingFusion<'a> {
         accum.blocks24.insert(Prefix24::of(event.target));
         accum.blocks16.insert(Prefix16::of(event.target));
         if let Some(a) = asn {
-            accum.asns.insert(a.0);
-            self.combined_asns.insert(a.0);
+            accum.asns.insert(a);
+            self.combined_asns.insert(a);
         }
         accum
             .recent_windows
@@ -206,6 +210,41 @@ impl<'a> StreamingFusion<'a> {
             .get(day.0 as usize)
             .map(|s| s.len() as u64)
             .unwrap_or(0)
+    }
+}
+
+impl<'a> StreamingFusion<'a> {
+    /// A fusion engine over the metadata databases, covering `days`.
+    pub fn new(
+        geo: &'a dosscope_geo::GeoDb,
+        asdb: &'a dosscope_geo::AsDb,
+        days: u32,
+    ) -> StreamingFusion<'a> {
+        StreamingFusion {
+            enricher: Enricher::new(geo, asdb),
+            state: FusionState::new(days),
+        }
+    }
+
+    /// Ingest one event as it is emitted by either detector.
+    pub fn push(&mut self, event: &AttackEvent) {
+        let (_, asn) = self.enricher.lookup(event.target);
+        self.state.push(event, asn.map(|a| a.0));
+    }
+
+    /// The current fused state.
+    pub fn snapshot(&self) -> StreamingSnapshot {
+        self.state.snapshot()
+    }
+
+    /// Attacks per day ingested so far.
+    pub fn daily_attacks(&self) -> &TimeSeries {
+        self.state.daily_attacks()
+    }
+
+    /// Unique targets on one day so far.
+    pub fn targets_on(&self, day: DayIndex) -> u64 {
+        self.state.targets_on(day)
     }
 }
 

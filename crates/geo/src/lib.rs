@@ -28,7 +28,7 @@ use std::net::Ipv4Addr;
 ///
 /// Stands in for the NetAcuity Edge Premium data the paper uses to add
 /// country metadata to attack targets.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct GeoDb {
     map: PrefixMap<CountryCode>,
 }
@@ -64,7 +64,7 @@ impl GeoDb {
 ///
 /// Stands in for the Routeviews pfx2as mapping the paper uses for BGP
 /// routing metadata.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct AsDb {
     map: PrefixMap<Asn>,
 }

@@ -252,11 +252,13 @@ fn drive_pipelines(
     (store, tele_stats, fleet_stats)
 }
 
-/// The parallel consumer: the producer thread renders *and partitions*
-/// each day by the victim's /16 shard, then the sharded engines process
-/// the per-shard streams with one worker per shard. Victim-keyed detector
-/// state makes the merged output byte-identical to the serial path for
-/// any shard count (DESIGN.md, "Concurrency model").
+/// The parallel consumer: the producer thread renders *and routes* each
+/// day by the victim's /16 shard (index lists over one `Arc`'d chunk — no
+/// batch is copied or re-partitioned), then the persistent sharded
+/// engines carry the per-shard streams on their long-lived pool workers.
+/// Victim-keyed detector state makes the single merge at `finish`
+/// byte-identical to the serial path for any shard count (DESIGN.md,
+/// "Concurrency model").
 fn drive_pipelines_sharded(
     renderer: &Renderer<'_>,
     telescope: Telescope,
@@ -267,31 +269,40 @@ fn drive_pipelines_sharded(
     dosscope_telescope::detector::DetectorStats,
     dosscope_amppot::FleetStats,
 ) {
+    use dosscope_types::Routed;
+    use std::sync::Arc;
+
     let mut rsdos = ShardedRsdos::with_defaults(telescope, threads);
     let mut fleet = ShardedFleet::standard(threads);
-    type DayParts = (Vec<Vec<PacketBatch>>, Vec<Vec<RequestBatch>>);
-    let (tx, rx) = crossbeam::channel::bounded::<DayParts>(4);
+    type DayRouted = (Routed<PacketBatch>, Routed<RequestBatch>);
+    let (tx, rx) = crossbeam::channel::bounded::<DayRouted>(4);
 
     crossbeam::scope(|s| {
         s.spawn(move |_| {
             for d in 0..days {
                 let day = DayIndex(d);
-                let t = dosscope_telescope::partition_batches(renderer.telescope_day(day), threads);
-                let h = dosscope_amppot::partition_requests(renderer.honeypot_day(day), threads);
+                let t = dosscope_telescope::route_batches(
+                    Arc::new(renderer.telescope_day(day)),
+                    threads,
+                );
+                let h = dosscope_amppot::route_requests(
+                    Arc::new(renderer.honeypot_day(day)),
+                    threads,
+                );
                 if tx.send((t, h)).is_err() {
                     return;
                 }
             }
         });
-        for (tele_parts, hp_parts) in rx.iter() {
-            rsdos.ingest_partitioned(&tele_parts);
-            fleet.ingest_partitioned(&hp_parts);
+        for (tele_routed, hp_routed) in rx.iter() {
+            rsdos.ingest_routed(tele_routed);
+            fleet.ingest_routed(hp_routed);
         }
     })
     .expect("pipeline threads never panic");
 
-    let (tele_events, tele_stats) = rsdos.finish();
-    let (hp_events, fleet_stats) = fleet.finish();
+    let (tele_events, tele_stats, _peak) = rsdos.finish();
+    let (hp_events, fleet_stats, _peak) = fleet.finish();
 
     let mut store = EventStore::new();
     store.ingest_telescope(tele_events);

@@ -237,14 +237,11 @@ impl FlowTable {
     /// O(live flows).
     pub fn sweep(&mut self, now: SimTime) -> Vec<Flow> {
         let mut out = Vec::new();
-        // A bucket is visited when even its newest possible activity has
-        // timed out. Still-live flows found there are moved forward to
-        // this floor at minimum, so a bucket is never re-inserted below
-        // the sweep frontier (which would loop).
-        let safe_bucket = now
-            .secs()
-            .saturating_sub(self.timeout_secs)
-            .div_ceil(self.granularity.max(1));
+        // Live flows found in a visited bucket are re-filed under their
+        // *true* current-activity bucket — possibly at or below the visit
+        // frontier. The insertion is deferred until after the loop so a
+        // bucket cannot be popped twice within one sweep.
+        let mut refile: Vec<(u64, Ipv4Addr)> = Vec::new();
         while let Some((&bucket, _)) = self.buckets.first_key_value() {
             // The earliest possible last-activity in this bucket is
             // `bucket * granularity`; if even that is within the timeout,
@@ -261,16 +258,23 @@ impl FlowTable {
                         } else {
                             // Live flow whose activity moved on since it
                             // was registered: re-file it under its current
-                            // activity bucket (clamped to the frontier).
-                            let fwd = (f.last.secs() / self.granularity).max(safe_bucket);
+                            // activity bucket. Filing later than the true
+                            // bucket would delay its expiry past the scan's
+                            // (the visit condition assumes last activity
+                            // >= bucket start), so the bucket is exact and
+                            // the insert is deferred.
+                            let fwd = f.last.secs() / self.granularity;
                             f.bucket = fwd;
-                            self.buckets.entry(fwd).or_default().push(v);
+                            refile.push((fwd, v));
                         }
                     }
                     // Stale entry: the flow was replaced or re-filed.
                     _ => {}
                 }
             }
+        }
+        for (bucket, v) in refile {
+            self.buckets.entry(bucket).or_default().push(v);
         }
         out.sort_by_key(|f| f.victim);
         out

@@ -52,7 +52,7 @@ pub use classify::{classify, classify_batch, Backscatter, BatchClass};
 pub use detector::{DetectorConfig, RsdosDetector};
 pub use packet::PacketBatch;
 pub use plugin::{drive_plugin, run_rsdos, Corsaro, RsdosPlugin, StatsPlugin, TelescopePlugin};
-pub use sharded::{partition_batches, ShardedRsdos};
+pub use sharded::{route_batches, victim_shard, ShardedRsdos};
 
 use dosscope_types::Ipv4Cidr;
 use std::net::Ipv4Addr;

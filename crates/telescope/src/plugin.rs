@@ -109,6 +109,13 @@ impl RsdosPlugin {
         self.results
             .expect("into_results called before the driver finished")
     }
+
+    /// Number of currently live flows in the wrapped detector (0 after
+    /// `finish`); the working-set sample the sharded pipeline and the
+    /// bench record.
+    pub fn live_flows(&self) -> usize {
+        self.detector.as_ref().map_or(0, RsdosDetector::live_flows)
+    }
 }
 
 impl TelescopePlugin for RsdosPlugin {

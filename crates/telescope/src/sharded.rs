@@ -1,11 +1,16 @@
-//! Sharded parallel variant of the RSDoS pipeline.
+//! Sharded parallel variant of the RSDoS pipeline, on the persistent
+//! worker pool.
 //!
-//! Batches are partitioned by the *victim's* /16 shard (backscatter is
-//! sent by the victim, so the victim is the packet source) and each shard
-//! runs an independent [`RsdosPlugin`] on its own thread. The flow table,
-//! the classifier and the filter are all victim-local state, so a shard
-//! sees every packet of every flow it owns, in the original order — the
-//! merged result is byte-identical to a serial run:
+//! Batches are routed by the *victim's* address (backscatter is sent by
+//! the victim, so the victim is the packet source) and each shard's
+//! [`RsdosPlugin`] lives on a long-lived [`ShardPool`] worker for the
+//! whole run — no thread spawn per chunk, no per-chunk re-partitioning.
+//! A chunk is shared with every worker as one [`Routed`] view (`Arc`'d
+//! batch vector plus per-shard index lists); workers read their batches
+//! in place. The flow table, the classifier and the filter are all
+//! victim-local state, so a shard sees every packet of every flow it
+//! owns, in the original order — the single merge at [`ShardedRsdos::
+//! finish`] is byte-identical to a serial run:
 //!
 //! * flow splits happen on per-flow idle gaps (in `offer`) regardless of
 //!   when `interval_end` fires, so per-shard interval cadence cannot
@@ -18,64 +23,83 @@ use crate::detector::{DetectorConfig, DetectorStats, RsdosDetector};
 use crate::packet::PacketBatch;
 use crate::plugin::{RsdosPlugin, TelescopePlugin};
 use crate::Telescope;
-use dosscope_types::{shard_of, AttackEvent, SimTime};
-use dosscope_wire::Ipv4Packet;
+use dosscope_types::{shard_of_addr, AttackEvent, Routed, ShardPool, SimTime};
+use std::net::Ipv4Addr;
+use std::sync::Arc;
 
-/// The shard owning a raw packet, by victim (= source) address. Batches
-/// that fail IPv4 parsing go to shard 0, whose detector counts them as
-/// malformed exactly as the serial detector would.
+/// Bounded per-worker queue depth: one chunk in flight, a few queued —
+/// enough to overlap rendering with detection without unbounded growth.
+const QUEUE_DEPTH: usize = 4;
+
+/// The shard owning a raw packet, by victim (= source) address. Routing
+/// sits on the producer's critical path, so it reads the source address
+/// straight from the fixed header offset instead of fully validating the
+/// packet — correctness only needs a deterministic, victim-local
+/// assignment, and the shard's detector re-validates and counts malformed
+/// batches exactly as the serial detector would. Detector state is keyed
+/// by the complete victim address and the merge only sums counters, so
+/// the full-address key ([`shard_of_addr`]) is safe here and spreads a
+/// hot hosting /16 across all shards instead of serialising it on one.
+/// Batches too short to carry an IPv4 source go to shard 0.
 pub fn victim_shard(bytes: &[u8], shards: usize) -> usize {
-    match Ipv4Packet::new_checked(bytes) {
-        Ok(ip) => shard_of(ip.src(), shards),
-        Err(_) => 0,
+    match bytes.get(12..16) {
+        Some(src) if bytes[0] >> 4 == 4 => {
+            shard_of_addr(Ipv4Addr::new(src[0], src[1], src[2], src[3]), shards)
+        }
+        _ => 0,
     }
 }
 
-/// Split a time-ordered batch stream into per-shard streams. Relative
-/// order within each shard is preserved, which is all the per-victim flow
-/// logic needs.
-pub fn partition_batches(batches: Vec<PacketBatch>, shards: usize) -> Vec<Vec<PacketBatch>> {
+/// Route a time-ordered chunk of the stream by victim shard, without
+/// copying any batch. Relative order within each shard is preserved,
+/// which is all the per-victim flow logic needs.
+pub fn route_batches(batches: Arc<Vec<PacketBatch>>, shards: usize) -> Routed<PacketBatch> {
     let shards = shards.max(1);
-    let mut parts: Vec<Vec<PacketBatch>> = (0..shards).map(|_| Vec::new()).collect();
-    for b in batches {
-        let s = victim_shard(&b.bytes, shards);
-        parts[s].push(b);
-    }
-    parts
+    Routed::build(batches, shards, |b| victim_shard(&b.bytes, shards))
 }
 
 /// One shard: a detector plugin plus its own interval tracker (interval
 /// boundaries are derived from the shard's batch stream, mirroring what a
-/// per-shard Corsaro driver would do).
+/// per-shard Corsaro driver would do) and a peak working-set sample.
 struct ShardLane {
     plugin: RsdosPlugin,
     current_interval: Option<u64>,
+    peak_live_flows: usize,
 }
 
-fn drive_lane(lane: &mut ShardLane, batches: &[PacketBatch], interval_secs: u64) {
-    for b in batches {
-        let interval = b.ts.secs() / interval_secs;
-        match lane.current_interval {
-            None => lane.current_interval = Some(interval),
-            Some(cur) if interval > cur => {
-                lane.plugin.interval_end(SimTime(interval * interval_secs));
-                lane.current_interval = Some(interval);
+impl ShardLane {
+    fn drive<'a>(&mut self, batches: impl Iterator<Item = &'a PacketBatch>, interval_secs: u64) {
+        for b in batches {
+            let interval = b.ts.secs() / interval_secs;
+            match self.current_interval {
+                None => self.current_interval = Some(interval),
+                Some(cur) if interval > cur => {
+                    self.plugin.interval_end(SimTime(interval * interval_secs));
+                    self.current_interval = Some(interval);
+                }
+                _ => {}
             }
-            _ => {}
+            self.plugin.process_batch(b);
         }
-        lane.plugin.process_batch(b);
+        self.peak_live_flows = self.peak_live_flows.max(self.plugin.live_flows());
     }
 }
 
-/// The parallel RSDoS engine: N independent detectors over victim shards.
+/// Per-shard result: events, statistics, and the shard's peak live-flow
+/// count (sampled once per ingested chunk).
+type LaneOutput = (Vec<AttackEvent>, DetectorStats, u64);
+
+/// The parallel RSDoS engine: N independent detectors over victim shards,
+/// each living on a persistent pool worker.
 pub struct ShardedRsdos {
-    lanes: Vec<ShardLane>,
-    interval_secs: u64,
+    pool: ShardPool<Routed<PacketBatch>, ShardLane, LaneOutput>,
+    shards: usize,
 }
 
 impl ShardedRsdos {
     /// An engine with `shards` detector shards (0 is treated as 1), all
-    /// observing the same darknet with the same thresholds.
+    /// observing the same darknet with the same thresholds, one pool
+    /// worker per shard.
     pub fn new(
         telescope: Telescope,
         config: DetectorConfig,
@@ -83,15 +107,26 @@ impl ShardedRsdos {
         shards: usize,
     ) -> ShardedRsdos {
         let shards = shards.max(1);
-        ShardedRsdos {
-            lanes: (0..shards)
-                .map(|_| ShardLane {
-                    plugin: RsdosPlugin::new(RsdosDetector::new(telescope, config)),
-                    current_interval: None,
-                })
-                .collect(),
-            interval_secs: interval_secs.max(1),
-        }
+        let interval_secs = interval_secs.max(1);
+        let pool = ShardPool::new(
+            shards,
+            shards,
+            QUEUE_DEPTH,
+            |_| ShardLane {
+                plugin: RsdosPlugin::new(RsdosDetector::new(telescope, config)),
+                current_interval: None,
+                peak_live_flows: 0,
+            },
+            move |lane: &mut ShardLane, shard, _shards, routed: &Routed<PacketBatch>| {
+                lane.drive(routed.owned(shard), interval_secs);
+            },
+            |mut lane: ShardLane| {
+                lane.plugin.finish();
+                let (events, stats) = lane.plugin.into_results();
+                (events, stats, lane.peak_live_flows as u64)
+            },
+        );
+        ShardedRsdos { pool, shards }
     }
 
     /// An engine with the published default thresholds and a 60 s interval.
@@ -101,70 +136,42 @@ impl ShardedRsdos {
 
     /// Number of shards.
     pub fn shards(&self) -> usize {
-        self.lanes.len()
+        self.shards
     }
 
-    /// Ingest one pre-partitioned chunk of the stream (one entry per
-    /// shard, as produced by [`partition_batches`]), one worker thread per
-    /// shard. Chunks must arrive in time order, like the serial stream.
-    pub fn ingest_partitioned(&mut self, parts: &[Vec<PacketBatch>]) {
+    /// Ingest one pre-routed chunk of the stream (as produced by
+    /// [`route_batches`] for this engine's shard count). Chunks must
+    /// arrive in time order, like the serial stream.
+    pub fn ingest_routed(&mut self, routed: Routed<PacketBatch>) {
         assert_eq!(
-            parts.len(),
-            self.lanes.len(),
-            "partition count must match shard count"
+            routed.shards(),
+            self.shards,
+            "chunk routed for a different shard count"
         );
-        let interval_secs = self.interval_secs;
-        if self.lanes.len() == 1 {
-            drive_lane(&mut self.lanes[0], &parts[0], interval_secs);
-            return;
-        }
-        std::thread::scope(|s| {
-            for (lane, batches) in self.lanes.iter_mut().zip(parts) {
-                s.spawn(move || drive_lane(lane, batches, interval_secs));
-            }
-        });
+        self.pool
+            .dispatch(routed)
+            .expect("ingest on a finished engine");
     }
 
-    /// Partition and ingest one time-ordered chunk of the stream.
+    /// Route and ingest one time-ordered chunk of the stream.
     pub fn ingest(&mut self, batches: Vec<PacketBatch>) {
-        let parts = partition_batches(batches, self.lanes.len());
-        self.ingest_partitioned(&parts);
+        self.ingest_routed(route_batches(Arc::new(batches), self.shards));
     }
 
-    /// End of trace: finish every shard (in parallel), merge events into
-    /// the canonical `(start, target)` order and sum the statistics.
-    pub fn finish(self) -> (Vec<AttackEvent>, DetectorStats) {
-        let parallel = self.lanes.len() > 1;
-        let results: Vec<(Vec<AttackEvent>, DetectorStats)> = if parallel {
-            std::thread::scope(|s| {
-                let handles: Vec<_> = self
-                    .lanes
-                    .into_iter()
-                    .map(|mut lane| {
-                        s.spawn(move || {
-                            lane.plugin.finish();
-                            lane.plugin.into_results()
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("telescope shard worker panicked"))
-                    .collect()
-            })
-        } else {
-            self.lanes
-                .into_iter()
-                .map(|mut lane| {
-                    lane.plugin.finish();
-                    lane.plugin.into_results()
-                })
-                .collect()
-        };
-
+    /// End of trace: drain and finish every shard on its own worker, then
+    /// merge once — events into the canonical `(start, target)` order,
+    /// statistics summed, and the peak live-flow working set summed over
+    /// shards (the shards run concurrently, so the sum bounds the
+    /// process-wide peak).
+    pub fn finish(mut self) -> (Vec<AttackEvent>, DetectorStats, u64) {
+        let results = self
+            .pool
+            .shutdown()
+            .expect("finish on a finished engine");
         let mut events = Vec::new();
         let mut stats = DetectorStats::default();
-        for (ev, st) in results {
+        let mut peak = 0u64;
+        for (ev, st, pk) in results {
             events.extend(ev);
             stats.malformed += st.malformed;
             stats.non_backscatter += st.non_backscatter;
@@ -172,9 +179,10 @@ impl ShardedRsdos {
             stats.flows_finalized += st.flows_finalized;
             stats.flows_filtered += st.flows_filtered;
             stats.events += st.events;
+            peak += pk;
         }
         events.sort_by_key(|e| (e.when.start, e.target));
-        (events, stats)
+        (events, stats, peak)
     }
 }
 
@@ -221,13 +229,14 @@ mod tests {
         for shards in [1, 2, 3, 8] {
             let mut engine = ShardedRsdos::with_defaults(telescope, shards);
             engine.ingest(mixed_stream());
-            let (events, stats) = engine.finish();
+            let (events, stats, peak) = engine.finish();
             assert_eq!(events, serial_events, "{shards} shards: events differ");
             assert_eq!(stats.malformed, serial_stats.malformed);
             assert_eq!(stats.non_backscatter, serial_stats.non_backscatter);
             assert_eq!(stats.backscatter_packets, serial_stats.backscatter_packets);
             assert_eq!(stats.flows_filtered, serial_stats.flows_filtered);
             assert_eq!(stats.events, serial_stats.events);
+            assert!(peak > 0, "{shards} shards: peak working set sampled");
         }
     }
 
@@ -237,24 +246,45 @@ mod tests {
         let stream = mixed_stream();
         let mut whole = ShardedRsdos::with_defaults(telescope, 4);
         whole.ingest(stream.clone());
-        let (a, _) = whole.finish();
+        let (a, _, _) = whole.finish();
 
+        // The same persistent workers (and their flow state) must carry
+        // over across consecutive chunks.
         let mut chunked = ShardedRsdos::with_defaults(telescope, 4);
         for chunk in stream.chunks(97) {
             chunked.ingest(chunk.to_vec());
         }
-        let (b, _) = chunked.finish();
+        let (b, _, _) = chunked.finish();
         assert_eq!(a, b);
     }
 
     #[test]
-    fn malformed_batches_go_to_shard_zero() {
+    fn malformed_batches_route_to_shard_zero() {
         assert_eq!(victim_shard(&[0xAB; 3], 8), 0);
-        let parts = partition_batches(
-            vec![PacketBatch::repeated(SimTime(0), 1, vec![0xAB; 3])],
+        let routed = route_batches(
+            Arc::new(vec![PacketBatch::repeated(SimTime(0), 1, vec![0xAB; 3])]),
             8,
         );
-        assert_eq!(parts[0].len(), 1);
-        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), 1);
+        assert_eq!(routed.owned_len(0), 1);
+        assert_eq!(
+            (0..8).map(|s| routed.owned_len(s)).sum::<usize>(),
+            1,
+            "routed exactly once"
+        );
+    }
+
+    #[test]
+    fn routing_is_zero_copy() {
+        let stream = Arc::new(mixed_stream());
+        let routed = route_batches(stream.clone(), 8);
+        assert_eq!(
+            routed.items().as_ptr(),
+            stream.as_ptr(),
+            "routing shares the chunk, no re-partition copies"
+        );
+        assert_eq!(
+            (0..8).map(|s| routed.owned_len(s)).sum::<usize>(),
+            stream.len()
+        );
     }
 }

@@ -16,6 +16,7 @@ pub mod bytes;
 pub mod event;
 pub mod fasthash;
 pub mod net;
+pub mod pool;
 pub mod service;
 pub mod shard;
 pub mod stats;
@@ -27,7 +28,8 @@ pub use event::{
 };
 pub use fasthash::{FastBuildHasher, FastMap, FastSet, FxHasher};
 pub use net::{Asn, CountryCode, Ipv4Cidr, Prefix16, Prefix24};
-pub use shard::shard_of;
+pub use pool::{PoolError, Routed, ShardPool};
+pub use shard::{shard_of, shard_of_addr};
 pub use stats::{Ecdf, FrozenEcdf, LogHistogram, RunningStats, TimeSeries};
 pub use time::{
     CalendarDate, DayIndex, SimTime, TimeRange, SECS_PER_DAY, SECS_PER_HOUR, SECS_PER_MINUTE,

@@ -1,0 +1,579 @@
+//! The persistent worker pool every parallel pipeline stage runs on.
+//!
+//! The first sharded pipeline (PR 3) spawned a fresh `std::thread::scope`
+//! per ingested chunk and re-partitioned every chunk into per-shard
+//! `Vec` clones. Correct, but the bench showed it *negatively* scaling:
+//! thread spawn/join per chunk, an allocation per (chunk × shard), and a
+//! reference-count bump plus cross-thread drop per batch. This module
+//! replaces that design with the architecture all three sharded layers
+//! (telescope, honeypot fleet, fusion) now share:
+//!
+//! * **long-lived workers** — [`ShardPool::new`] spawns the worker
+//!   threads once; each worker *owns* a slice of the per-shard states for
+//!   its whole life (shard `k` lives on worker `k % workers`), so state
+//!   never migrates and never needs locking;
+//! * **bounded channels** — each worker has its own
+//!   [`std::sync::mpsc::sync_channel`]; a slow worker back-pressures the
+//!   dispatcher instead of letting queues grow without bound;
+//! * **zero-copy batch routing** — a chunk is shared as one
+//!   [`Routed`] view (`Arc`'d item vector + per-shard index lists built
+//!   by the stage's `shard_of` key); dispatch hands every worker the same
+//!   two pointers instead of cloning batches into per-shard vectors;
+//! * **explicit barriers** — [`ShardPool::barrier`] runs a closure on
+//!   every shard state after all previously dispatched batches, which is
+//!   how snapshots merge per-shard accumulators *once* per query instead
+//!   of once per ingested chunk; [`ShardPool::shutdown`] is the final
+//!   barrier that drains, joins and returns every shard's finished
+//!   output.
+//!
+//! A panicking shard must fail the run, not hang it: every send/receive
+//! failure is treated as a dead worker, the pool tears all channels down,
+//! joins every thread and re-raises the original panic payload on the
+//! caller thread ([`std::panic::resume_unwind`]). Operations on a pool
+//! that was already shut down return [`PoolError::ShutDown`] instead.
+
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Error for operations on a pool whose workers are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolError {
+    /// [`ShardPool::shutdown`] already ran: the states were consumed and
+    /// there is nothing left to dispatch to or snapshot.
+    ShutDown,
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::ShutDown => write!(f, "shard pool is already shut down"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// A chunk of items routed to shards without copying the items: the chunk
+/// itself is shared (`Arc`) and each shard owns a list of indexes into it.
+///
+/// Building a `Routed` is the only per-item routing work the pipeline
+/// does — one key evaluation and one `u32` push per item. Workers then
+/// walk their own index list and read the items in place through the
+/// shared vector; nothing is cloned or re-partitioned.
+#[derive(Debug, Clone)]
+pub struct Routed<T> {
+    items: Arc<Vec<T>>,
+    owners: Vec<Vec<u32>>,
+}
+
+impl<T> Routed<T> {
+    /// Route a shared chunk across `shards` shards with the stage's key
+    /// function (`shards = 0` is treated as 1). Relative order within a
+    /// shard is the chunk order, which is what per-victim state needs.
+    pub fn build(items: Arc<Vec<T>>, shards: usize, key: impl Fn(&T) -> usize) -> Routed<T> {
+        let shards = shards.max(1);
+        debug_assert!(items.len() <= u32::MAX as usize, "chunk too large to index");
+        let mut owners: Vec<Vec<u32>> = (0..shards).map(|_| Vec::new()).collect();
+        for (i, item) in items.iter().enumerate() {
+            let s = key(item);
+            debug_assert!(s < shards, "shard key out of range");
+            owners[s.min(shards - 1)].push(i as u32);
+        }
+        Routed { items, owners }
+    }
+
+    /// Number of shards this chunk was routed across.
+    pub fn shards(&self) -> usize {
+        self.owners.len()
+    }
+
+    /// All items of the chunk, in chunk order.
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+
+    /// The items one shard owns, in chunk order.
+    pub fn owned(&self, shard: usize) -> impl Iterator<Item = &T> {
+        self.owners[shard].iter().map(|&i| &self.items[i as usize])
+    }
+
+    /// How many items one shard owns.
+    pub fn owned_len(&self, shard: usize) -> usize {
+        self.owners[shard].len()
+    }
+}
+
+/// A barrier closure run against a worker's owned `(shard, state)` slice.
+type BarrierCall<S> = Box<dyn FnOnce(&mut Vec<(usize, S)>) + Send>;
+
+/// What travels over a worker's channel: a shared batch, or a barrier
+/// closure run against the worker's owned `(shard, state)` slice.
+enum Job<B, S> {
+    Batch(Arc<B>),
+    Call(BarrierCall<S>),
+}
+
+struct Lane<B, S, O> {
+    tx: Option<SyncSender<Job<B, S>>>,
+    handle: Option<JoinHandle<Vec<(usize, O)>>>,
+}
+
+/// A persistent pool of worker threads, each owning a fixed slice of
+/// per-shard states.
+///
+/// Type parameters: `B` is the dispatched batch type (shared read-only
+/// across workers), `S` the per-shard state a worker owns and mutates,
+/// `O` the per-shard output [`ShardPool::shutdown`] returns.
+pub struct ShardPool<B, S, O> {
+    shards: usize,
+    lanes: Vec<Lane<B, S, O>>,
+    down: bool,
+}
+
+impl<B, S, O> ShardPool<B, S, O>
+where
+    B: Send + Sync + 'static,
+    S: Send + 'static,
+    O: Send + 'static,
+{
+    /// Spawn the pool: `shards` states (built by `init`, in shard order,
+    /// on the calling thread) distributed over `min(threads, shards)`
+    /// long-lived workers (`threads > shards` simply caps at one worker
+    /// per shard; 0 of either is treated as 1).
+    ///
+    /// For every dispatched batch a worker calls
+    /// `process(state, shard, shards, &batch)` once per shard it owns, in
+    /// shard order. At shutdown it calls `finish(state)` per shard and
+    /// returns the outputs.
+    pub fn new<I, P, F>(
+        shards: usize,
+        threads: usize,
+        queue_depth: usize,
+        mut init: I,
+        process: P,
+        finish: F,
+    ) -> ShardPool<B, S, O>
+    where
+        I: FnMut(usize) -> S,
+        P: Fn(&mut S, usize, usize, &B) + Send + Clone + 'static,
+        F: Fn(S) -> O + Send + Clone + 'static,
+    {
+        let shards = shards.max(1);
+        let workers = threads.max(1).min(shards);
+        let depth = queue_depth.max(1);
+        let mut states: Vec<Option<(usize, S)>> =
+            (0..shards).map(|s| Some((s, init(s)))).collect();
+        let lanes = (0..workers)
+            .map(|w| {
+                let owned: Vec<(usize, S)> = states
+                    .iter_mut()
+                    .skip(w)
+                    .step_by(workers)
+                    .map(|slot| slot.take().expect("each shard is owned exactly once"))
+                    .collect();
+                let (tx, rx) = sync_channel::<Job<B, S>>(depth);
+                let process = process.clone();
+                let finish = finish.clone();
+                let handle = std::thread::Builder::new()
+                    .name(format!("shard-worker-{w}"))
+                    .spawn(move || {
+                        let mut owned = owned;
+                        while let Ok(job) = rx.recv() {
+                            match job {
+                                Job::Batch(batch) => {
+                                    for (shard, state) in owned.iter_mut() {
+                                        process(state, *shard, shards, &batch);
+                                    }
+                                }
+                                Job::Call(f) => f(&mut owned),
+                            }
+                        }
+                        owned
+                            .into_iter()
+                            .map(|(shard, state)| (shard, finish(state)))
+                            .collect()
+                    })
+                    .expect("spawn shard worker");
+                Lane {
+                    tx: Some(tx),
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+        ShardPool {
+            shards,
+            lanes,
+            down: false,
+        }
+    }
+
+    /// Number of shards (== per-shard states).
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Number of worker threads actually spawned.
+    pub fn workers(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// True once [`ShardPool::shutdown`] has consumed the states.
+    pub fn is_shut_down(&self) -> bool {
+        self.down
+    }
+
+    /// Dispatch one batch to every worker (each processes it against all
+    /// of its shards). Returns [`PoolError::ShutDown`] after `shutdown`;
+    /// re-raises the worker's panic if one died processing earlier work.
+    pub fn dispatch(&mut self, batch: B) -> Result<(), PoolError> {
+        self.dispatch_shared(Arc::new(batch))
+    }
+
+    /// [`ShardPool::dispatch`] for a batch that is already shared.
+    pub fn dispatch_shared(&mut self, batch: Arc<B>) -> Result<(), PoolError> {
+        if self.down {
+            return Err(PoolError::ShutDown);
+        }
+        let mut dead = false;
+        for lane in &self.lanes {
+            let tx = lane.tx.as_ref().expect("live pool lane has a sender");
+            if tx.send(Job::Batch(batch.clone())).is_err() {
+                dead = true;
+            }
+        }
+        if dead {
+            self.propagate_worker_panic();
+        }
+        Ok(())
+    }
+
+    /// Dispatch one batch to the single worker owning `shard` (the worker
+    /// still processes it against every shard it owns; routing inside the
+    /// batch decides what each shard sees). Cheaper than a full dispatch
+    /// when the batch is known to touch one shard.
+    pub fn dispatch_to(&mut self, shard: usize, batch: B) -> Result<(), PoolError> {
+        if self.down {
+            return Err(PoolError::ShutDown);
+        }
+        assert!(shard < self.shards, "shard index out of range");
+        let lane = &self.lanes[shard % self.lanes.len()];
+        let tx = lane.tx.as_ref().expect("live pool lane has a sender");
+        if tx.send(Job::Batch(Arc::new(batch))).is_err() {
+            self.propagate_worker_panic();
+        }
+        Ok(())
+    }
+
+    /// Barrier: after everything dispatched so far has been processed, run
+    /// `f` against every shard state and return the results in shard
+    /// order. This is the snapshot primitive — per-shard accumulators are
+    /// read (and merged by the caller) exactly once per barrier, never per
+    /// dispatched chunk.
+    pub fn barrier<R, F>(&mut self, f: F) -> Result<Vec<R>, PoolError>
+    where
+        R: Send + 'static,
+        F: Fn(&mut S) -> R + Send + Clone + 'static,
+    {
+        if self.down {
+            return Err(PoolError::ShutDown);
+        }
+        let mut replies: Vec<Receiver<Vec<(usize, R)>>> = Vec::with_capacity(self.lanes.len());
+        let mut dead = false;
+        for lane in &self.lanes {
+            let (otx, orx) = std::sync::mpsc::channel();
+            let g = f.clone();
+            let job = Job::Call(Box::new(move |owned: &mut Vec<(usize, S)>| {
+                let out: Vec<(usize, R)> =
+                    owned.iter_mut().map(|(shard, s)| (*shard, g(s))).collect();
+                let _ = otx.send(out);
+            }));
+            let tx = lane.tx.as_ref().expect("live pool lane has a sender");
+            if tx.send(job).is_err() {
+                dead = true;
+                break;
+            }
+            replies.push(orx);
+        }
+        let mut results: Vec<(usize, R)> = Vec::with_capacity(self.shards);
+        if !dead {
+            for orx in replies {
+                match orx.recv() {
+                    Ok(part) => results.extend(part),
+                    Err(_) => {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if dead {
+            self.propagate_worker_panic();
+        }
+        results.sort_by_key(|(shard, _)| *shard);
+        Ok(results.into_iter().map(|(_, r)| r).collect())
+    }
+
+    /// Final barrier: close every channel, join every worker and return
+    /// the finished per-shard outputs in shard order. The pool is
+    /// unusable afterwards (further calls return
+    /// [`PoolError::ShutDown`]); a worker that panicked re-raises here.
+    pub fn shutdown(&mut self) -> Result<Vec<O>, PoolError> {
+        if self.down {
+            return Err(PoolError::ShutDown);
+        }
+        self.down = true;
+        for lane in &mut self.lanes {
+            lane.tx = None;
+        }
+        let mut outputs: Vec<(usize, O)> = Vec::with_capacity(self.shards);
+        let mut panic_payload = None;
+        for lane in &mut self.lanes {
+            if let Some(handle) = lane.handle.take() {
+                match handle.join() {
+                    Ok(part) => outputs.extend(part),
+                    Err(payload) => {
+                        panic_payload.get_or_insert(payload);
+                    }
+                }
+            }
+        }
+        if let Some(payload) = panic_payload {
+            std::panic::resume_unwind(payload);
+        }
+        outputs.sort_by_key(|(shard, _)| *shard);
+        Ok(outputs.into_iter().map(|(_, o)| o).collect())
+    }
+
+    /// Tear everything down and re-raise the first worker panic. Only
+    /// called when a send or receive failed, which means a worker is gone
+    /// — and workers only leave by panicking.
+    fn propagate_worker_panic(&mut self) -> ! {
+        self.down = true;
+        for lane in &mut self.lanes {
+            lane.tx = None;
+        }
+        let mut panic_payload = None;
+        for lane in &mut self.lanes {
+            if let Some(handle) = lane.handle.take() {
+                if let Err(payload) = handle.join() {
+                    panic_payload.get_or_insert(payload);
+                }
+            }
+        }
+        match panic_payload {
+            Some(payload) => std::panic::resume_unwind(payload),
+            None => unreachable!("worker disconnected without panicking"),
+        }
+    }
+}
+
+/// Dropping a live pool joins its workers (so no thread outlives the
+/// stage that owns it) and re-raises a worker panic unless the thread is
+/// already unwinding.
+impl<B, S, O> Drop for ShardPool<B, S, O> {
+    fn drop(&mut self) {
+        if self.down {
+            return;
+        }
+        self.down = true;
+        for lane in &mut self.lanes {
+            lane.tx = None;
+        }
+        let mut panic_payload = None;
+        for lane in &mut self.lanes {
+            if let Some(handle) = lane.handle.take() {
+                if let Err(payload) = handle.join() {
+                    panic_payload.get_or_insert(payload);
+                }
+            }
+        }
+        if let Some(payload) = panic_payload {
+            if !std::thread::panicking() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::AssertUnwindSafe;
+    use std::thread::ThreadId;
+
+    /// A state that records everything its shard saw plus the thread that
+    /// processed it, to pin worker reuse and ownership.
+    #[derive(Default)]
+    struct Probe {
+        seen: Vec<u32>,
+        batches: usize,
+        thread: Option<ThreadId>,
+    }
+
+    /// What [`probe_pool`]'s finish returns per shard: seen values, batch
+    /// count, processing thread.
+    type ProbeOutput = (Vec<u32>, usize, Option<ThreadId>);
+
+    fn probe_pool(shards: usize, threads: usize) -> ShardPool<Routed<u32>, Probe, ProbeOutput> {
+        ShardPool::new(
+            shards,
+            threads,
+            4,
+            |_| Probe::default(),
+            |state: &mut Probe, shard, _shards, routed: &Routed<u32>| {
+                state.seen.extend(routed.owned(shard).copied());
+                state.batches += 1;
+                let here = std::thread::current().id();
+                match state.thread {
+                    None => state.thread = Some(here),
+                    Some(prev) => assert_eq!(prev, here, "shard state migrated threads"),
+                }
+            },
+            |s: Probe| (s.seen, s.batches, s.thread),
+        )
+    }
+
+    fn route(items: Vec<u32>, shards: usize) -> Routed<u32> {
+        Routed::build(Arc::new(items), shards, |v| *v as usize % shards.max(1))
+    }
+
+    #[test]
+    fn workers_persist_across_consecutive_batches() {
+        let mut pool = probe_pool(4, 4);
+        for chunk in [vec![0, 1, 2, 3], vec![4, 5, 6, 7], vec![8, 9, 10, 11]] {
+            pool.dispatch(route(chunk, 4)).unwrap();
+        }
+        let outs = pool.shutdown().unwrap();
+        assert_eq!(outs.len(), 4);
+        for (shard, (seen, batches, thread)) in outs.iter().enumerate() {
+            // Same long-lived state saw all three chunks, on one thread.
+            assert_eq!(*batches, 3, "shard {shard} reused across batches");
+            assert!(thread.is_some());
+            assert_eq!(
+                seen,
+                &(0..12u32).filter(|v| *v as usize % 4 == shard).collect::<Vec<_>>(),
+                "shard {shard} owns exactly its keyed items, in order"
+            );
+        }
+    }
+
+    #[test]
+    fn more_threads_than_shards_caps_at_one_worker_per_shard() {
+        let mut pool = probe_pool(2, 8);
+        assert_eq!(pool.workers(), 2);
+        assert_eq!(pool.shards(), 2);
+        pool.dispatch(route((0..10).collect(), 2)).unwrap();
+        let outs = pool.shutdown().unwrap();
+        assert_eq!(outs[0].0, vec![0, 2, 4, 6, 8]);
+        assert_eq!(outs[1].0, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn more_shards_than_threads_strides_ownership() {
+        let mut pool = probe_pool(5, 2);
+        assert_eq!(pool.workers(), 2);
+        pool.dispatch(route((0..25).collect(), 5)).unwrap();
+        let outs = pool.shutdown().unwrap();
+        assert_eq!(outs.len(), 5, "outputs in shard order despite striding");
+        for (shard, (seen, _, _)) in outs.iter().enumerate() {
+            assert!(seen.iter().all(|v| *v as usize % 5 == shard));
+            assert_eq!(seen.len(), 5);
+        }
+        // Shards 0,2,4 share worker 0 and 1,3 share worker 1.
+        assert_eq!(outs[0].2, outs[2].2);
+        assert_eq!(outs[0].2, outs[4].2);
+        assert_eq!(outs[1].2, outs[3].2);
+        assert_ne!(outs[0].2, outs[1].2);
+    }
+
+    #[test]
+    fn barrier_sees_all_prior_batches_in_shard_order() {
+        let mut pool = probe_pool(3, 3);
+        pool.dispatch(route((0..9).collect(), 3)).unwrap();
+        let counts = pool.barrier(|s: &mut Probe| s.seen.len()).unwrap();
+        assert_eq!(counts, vec![3, 3, 3]);
+        pool.dispatch(route((9..12).collect(), 3)).unwrap();
+        let counts = pool.barrier(|s: &mut Probe| s.seen.len()).unwrap();
+        assert_eq!(counts, vec![4, 4, 4]);
+    }
+
+    #[test]
+    fn snapshot_after_shutdown_is_an_error() {
+        let mut pool = probe_pool(2, 2);
+        pool.dispatch(route(vec![1, 2], 2)).unwrap();
+        pool.shutdown().unwrap();
+        assert!(pool.is_shut_down());
+        assert_eq!(
+            pool.barrier(|s: &mut Probe| s.batches).unwrap_err(),
+            PoolError::ShutDown
+        );
+        assert_eq!(pool.dispatch(route(vec![3], 2)).unwrap_err(), PoolError::ShutDown);
+        assert_eq!(pool.shutdown().unwrap_err(), PoolError::ShutDown);
+        assert_eq!(PoolError::ShutDown.to_string(), "shard pool is already shut down");
+    }
+
+    #[test]
+    fn worker_panic_propagates_instead_of_deadlocking() {
+        let mut pool: ShardPool<Routed<u32>, u32, u32> = ShardPool::new(
+            4,
+            4,
+            2,
+            |_| 0,
+            |state, shard, _shards, routed: &Routed<u32>| {
+                for v in routed.owned(shard) {
+                    assert!(*v != 13, "poison item reached shard {shard}");
+                    *state += v;
+                }
+            },
+            |s| s,
+        );
+        pool.dispatch(route(vec![1, 2, 3], 4)).unwrap();
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            // The poisoned chunk kills one worker; either this dispatch
+            // round or the shutdown must surface the panic — never hang.
+            pool.dispatch(route(vec![13], 4)).unwrap();
+            for i in 0..64 {
+                pool.dispatch(route(vec![i], 4)).unwrap();
+            }
+            pool.shutdown().unwrap();
+        }))
+        .expect_err("worker panic must propagate to the caller");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "non-string panic".into());
+        assert!(msg.contains("poison item"), "original payload kept: {msg}");
+        // The pool is down but safely reusable as a value (errors, no UB).
+        assert!(pool.is_shut_down());
+    }
+
+    #[test]
+    fn routed_views_share_the_chunk() {
+        let items = Arc::new(vec![10u32, 21, 32, 43]);
+        let routed = Routed::build(items.clone(), 2, |v| (*v % 2) as usize);
+        assert_eq!(routed.shards(), 2);
+        assert_eq!(routed.items().as_ptr(), items.as_ptr(), "no item copies");
+        assert_eq!(routed.owned(0).copied().collect::<Vec<_>>(), vec![10, 32]);
+        assert_eq!(routed.owned(1).copied().collect::<Vec<_>>(), vec![21, 43]);
+        assert_eq!(routed.owned_len(0), 2);
+        // Degenerate shard count routes everything to one shard.
+        let one = Routed::build(items, 0, |_| 0);
+        assert_eq!(one.shards(), 1);
+        assert_eq!(one.owned_len(0), 4);
+    }
+
+    #[test]
+    fn dispatch_to_reaches_the_owning_worker_only() {
+        let mut pool = probe_pool(4, 2);
+        pool.dispatch_to(2, route(vec![2, 6], 4)).unwrap();
+        pool.dispatch_to(1, route(vec![5], 4)).unwrap();
+        let outs = pool.shutdown().unwrap();
+        assert_eq!(outs[2].0, vec![2, 6]);
+        assert_eq!(outs[1].0, vec![5]);
+        // Shard 0 shares worker 0 with shard 2, so it saw that batch (and
+        // owned nothing in it); shard 3 shares worker 1 with shard 1.
+        assert_eq!(outs[0].0, Vec::<u32>::new());
+        assert_eq!(outs[3].0, Vec::<u32>::new());
+    }
+}

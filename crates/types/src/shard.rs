@@ -1,23 +1,48 @@
 //! The target-IP shard key shared by every parallel pipeline stage.
 //!
-//! Work is partitioned by the low bits of the target's /16 prefix. That
-//! specific key is what makes the sharded aggregates *exactly* additive:
-//! every address of a /16 — and therefore of every /24 inside it — lands
-//! in the same shard, so per-shard distinct-target, distinct-/24 and
-//! distinct-/16 counts can be summed without double counting. Anything
-//! coarser than a /16 (an AS, a country) can span shards and must be
-//! merged as a set union instead.
+//! Work is partitioned by the target's /16 prefix. That specific key is
+//! what makes the sharded aggregates *exactly* additive: every address of
+//! a /16 — and therefore of every /24 inside it — lands in the same
+//! shard, so per-shard distinct-target, distinct-/24 and distinct-/16
+//! counts can be summed without double counting. Anything coarser than a
+//! /16 (an AS, a country) can span shards and must be merged as a set
+//! union instead.
+//!
+//! The prefix is scrambled with a fixed odd multiplier before the modulo:
+//! address space is allocated in runs (a hoster's adjacent /16s differ
+//! only in the low prefix bits), so a plain `% shards` would stripe those
+//! runs onto the same few shards and the busiest shard would bound the
+//! whole pipeline. The multiply mixes every prefix bit into the high
+//! word, is stable across runs and platforms, and keeps each /16 whole.
 
 use std::net::Ipv4Addr;
 
+/// Fibonacci-hashing constant (2^32 / φ, forced odd): a full-period
+/// multiplicative scramble, not a quality-sensitive hash.
+const MIX: u32 = 0x9E37_79B1;
+
 /// The shard an address belongs to, out of `shards` (`shards = 0` is
-/// treated as 1). Stable across runs and platforms: pure arithmetic on
-/// the address bits, no hashing.
+/// treated as 1). Deterministic pure arithmetic on the /16 prefix bits.
 pub fn shard_of(addr: Ipv4Addr, shards: usize) -> usize {
     if shards <= 1 {
         return 0;
     }
-    ((u32::from(addr) >> 16) as usize) % shards
+    let prefix = u32::from(addr) >> 16;
+    (prefix.wrapping_mul(MIX) >> 16) as usize % shards
+}
+
+/// The shard an address belongs to when full-address spreading is safe:
+/// all 32 bits are mixed, so the victims inside one hot /16 (a busy
+/// hosting prefix) spread across every shard instead of serialising on
+/// one. Only for stages whose state is keyed by the *complete* victim
+/// address and whose merge never counts prefixes per shard — the
+/// detector engines qualify, the fusion aggregates (distinct /24 and /16
+/// counts) do not and must keep [`shard_of`].
+pub fn shard_of_addr(addr: Ipv4Addr, shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    (u32::from(addr).wrapping_mul(MIX) >> 16) as usize % shards
 }
 
 #[cfg(test)]

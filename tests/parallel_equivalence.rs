@@ -98,7 +98,7 @@ proptest! {
             serial.push(e);
         }
         let expect = serial.snapshot();
-        let mut sharded = ShardedFusion::new(&geo, &asdb, 731, shards);
+        let mut sharded = ShardedFusion::new(std::sync::Arc::new(asdb.clone()), 731, shards);
         sharded.push_all(&events);
         let snap = sharded.snapshot();
         prop_assert_eq!(snap.telescope, expect.telescope);
@@ -185,6 +185,7 @@ fn sharded_fusion_matches_serial_on_scenario_events() {
         .collect();
     all.sort_by_key(|e| (e.when.start, e.target));
 
+    let asdb = std::sync::Arc::new(world.asdb.clone());
     let mut serial = StreamingFusion::new(&world.geo, &world.asdb, world.days);
     for e in &all {
         serial.push(e);
@@ -193,7 +194,7 @@ fn sharded_fusion_matches_serial_on_scenario_events() {
     assert!(expect.asns > 1, "scenario events map to real ASNs");
 
     for shards in [1, 2, 8] {
-        let mut sharded = ShardedFusion::new(&world.geo, &world.asdb, world.days, shards);
+        let mut sharded = ShardedFusion::new(asdb.clone(), world.days, shards);
         sharded.push_all(&all);
         let snap = sharded.snapshot();
         assert_eq!(snap.telescope, expect.telescope, "{shards} shards");
