@@ -189,12 +189,16 @@ impl AmpPotFleet {
             Classified::Request(victim, protocol) => (victim, protocol),
         };
         self.stats.requests += batch.count as u64;
+        // Telemetry mirror; same site on the serial and sharded paths,
+        // so totals are thread-count invariant for a fixed seed.
+        dosscope_obs::counter!("fleet.requests").add(batch.count as u64);
 
         // Reply rate limiting: at most the first few requests per source
         // and minute would be answered; everything is logged either way.
         if let Some(pot) = self.honeypots.get_mut(batch.honeypot.0 as usize) {
             if pot.would_reply(victim, batch.ts.minute()) {
                 self.stats.replies_sent += 1;
+                dosscope_obs::counter!("fleet.replies").inc();
             }
         }
 
@@ -345,6 +349,7 @@ impl AmpPotFleet {
             distinct_sources: merged.honeypots,
         });
         self.stats.events += 1;
+        dosscope_obs::counter!("fleet.events").inc();
     }
 }
 

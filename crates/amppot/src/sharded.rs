@@ -75,6 +75,7 @@ impl ShardedFleet {
     pub fn standard(shards: usize) -> ShardedFleet {
         let shards = shards.max(1);
         let pool = ShardPool::new(
+            "fleet",
             shards,
             shards,
             QUEUE_DEPTH,
@@ -145,6 +146,8 @@ impl ShardedFleet {
             peak += pk;
         }
         events.sort_by_key(|e| (e.when.start, e.target, e.reflection_protocol()));
+        // Peak working set: summed per-shard maxima of open pot events.
+        dosscope_obs::gauge!("fleet.peak_open_events").raise(peak);
         (events, stats, peak)
     }
 }

@@ -3,24 +3,36 @@
 //! fusion, report assembly) at 1, 2 and 8 measurement threads, plus a
 //! baseline lane that re-runs the single-threaded measurement stages
 //! through the pre-overhaul replicas ([`dosscope_bench::baseline`]) in the
-//! same process. Writes the machine-readable trajectory to
-//! `BENCH_pipeline.json` (schema `dosscope-bench-pipeline-v2`).
+//! same process, plus a telemetry lane that re-times the serial
+//! measurement with `dosscope-obs` collection off and on (interleaved, so
+//! ambient noise lands on both alike). Writes the machine-readable
+//! trajectory to `BENCH_pipeline.json` (schema
+//! `dosscope-bench-pipeline-v3`).
 //!
 //! Usage:
 //!
 //! ```text
 //! pipeline [--smoke] [--scale F] [--days N] [--out PATH] [--check PATH]
+//!          [--telemetry]
 //! ```
 //!
 //! `--smoke` runs the reduced test scale and times the measurement stages
-//! at threads {1, 8} only (for CI). `--check PATH` compares the
+//! at threads {1, 8} only (for CI). `--telemetry` (or
+//! `DOSSCOPE_TELEMETRY=1`) additionally collects spans/counters/pool
+//! profiles over the pool lanes and writes `TELEMETRY.json` plus the
+//! ASCII dashboard (note: collection adds clock reads inside the timed
+//! lanes, so gated runs should leave it off). `--check PATH` compares the
 //! freshly-measured speedups against a committed `BENCH_pipeline.json`
 //! and exits non-zero when the file is malformed, any in-run speedup
 //! regressed to less than half the committed value, the committed
 //! parallel speedup is below the 4x floor, or the fresh threads=8 wall
 //! time regressed past threads=1 by more than the dispatch-overhead
 //! budget (speedups are in-run ratios, so every gate is
-//! machine-independent).
+//! machine-independent). On a full-scale run whose scale/days match the
+//! committed file, `--check` also gates the disabled-telemetry serial
+//! measurement wall at [`DISABLED_TELEMETRY_BUDGET`] of the committed
+//! trajectory — proof that instrumentation-off costs stay within noise
+//! of the pre-instrumentation pipeline.
 //!
 //! ## How the parallel speedup is measured
 //!
@@ -92,6 +104,12 @@ const WALL_TOLERANCE: f64 = 1.10;
 /// parallelism at all; below this the decomposed bound is gated instead.
 const WALL_GATE_CPUS: usize = 8;
 
+/// Budget for the disabled-telemetry serial measurement against the
+/// committed trajectory: instrumentation with collection off must cost
+/// at most 2%. Only gated on full-scale runs whose scale/days match the
+/// committed file (wall times are not comparable across scales).
+const DISABLED_TELEMETRY_BUDGET: f64 = 1.02;
+
 struct Stage {
     name: &'static str,
     threads: usize,
@@ -137,6 +155,7 @@ struct Options {
     out: String,
     check: Option<String>,
     smoke: bool,
+    telemetry: bool,
 }
 
 fn parse_args() -> Options {
@@ -147,6 +166,7 @@ fn parse_args() -> Options {
         out: "BENCH_pipeline.json".to_string(),
         check: None,
         smoke: false,
+        telemetry: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -163,10 +183,57 @@ fn parse_args() -> Options {
             "--days" => opts.days = value("--days").parse().expect("--days takes an integer"),
             "--out" => opts.out = value("--out"),
             "--check" => opts.check = Some(value("--check")),
+            "--telemetry" => opts.telemetry = true,
             other => panic!("unknown argument: {other}"),
         }
     }
     opts
+}
+
+/// The current serial telescope measurement pass (the shipping
+/// single-thread path): returns the finished events and the peak live
+/// flow count. Shared by the serial lane and the telemetry overhead
+/// lane so both time exactly the same work.
+fn run_serial_telescope(
+    telescope: Telescope,
+    days_data: &[(Vec<PacketBatch>, Vec<RequestBatch>)],
+) -> (Vec<dosscope_types::AttackEvent>, usize) {
+    let mut detector = RsdosDetector::with_defaults(telescope);
+    let mut interval: Option<u64> = None;
+    let mut peak = 0usize;
+    for (tele, _) in days_data {
+        for b in tele {
+            let iv = b.ts.secs() / INTERVAL_SECS;
+            match interval {
+                None => interval = Some(iv),
+                Some(cur) if iv > cur => {
+                    detector.advance(SimTime(iv * INTERVAL_SECS));
+                    interval = Some(iv);
+                }
+                _ => {}
+            }
+            detector.ingest(b);
+        }
+        peak = peak.max(detector.live_flows());
+    }
+    let (events, _) = detector.finish();
+    (events, peak)
+}
+
+/// Serial fleet twin of [`run_serial_telescope`].
+fn run_serial_fleet(
+    days_data: &[(Vec<PacketBatch>, Vec<RequestBatch>)],
+) -> (Vec<dosscope_types::AttackEvent>, usize) {
+    let mut fleet = AmpPotFleet::standard();
+    let mut peak = 0usize;
+    for (_, hp) in days_data {
+        for b in hp {
+            fleet.ingest(b);
+        }
+        peak = peak.max(fleet.open_events());
+    }
+    let (events, _) = fleet.finish();
+    (events, peak)
 }
 
 fn main() {
@@ -254,28 +321,7 @@ fn main() {
         ((base_tele_events, base_tele_peak), base_tele_secs),
     ) = time_pair(
         SERIAL_REPS,
-        || {
-            let mut detector = RsdosDetector::with_defaults(telescope);
-            let mut interval: Option<u64> = None;
-            let mut peak = 0usize;
-            for (tele, _) in &days_data {
-                for b in tele {
-                    let iv = b.ts.secs() / INTERVAL_SECS;
-                    match interval {
-                        None => interval = Some(iv),
-                        Some(cur) if iv > cur => {
-                            detector.advance(SimTime(iv * INTERVAL_SECS));
-                            interval = Some(iv);
-                        }
-                        _ => {}
-                    }
-                    detector.ingest(b);
-                }
-                peak = peak.max(detector.live_flows());
-            }
-            let (events, _) = detector.finish();
-            (events, peak)
-        },
+        || run_serial_telescope(telescope, &days_data),
         || {
             let mut detector = BaselineRsdos::with_defaults(telescope);
             let mut interval: Option<u64> = None;
@@ -308,18 +354,7 @@ fn main() {
         ((base_hp_events, base_fleet_peak), base_fleet_secs),
     ) = time_pair(
         SERIAL_REPS,
-        || {
-            let mut fleet = AmpPotFleet::standard();
-            let mut peak = 0usize;
-            for (_, hp) in &days_data {
-                for b in hp {
-                    fleet.ingest(b);
-                }
-                peak = peak.max(fleet.open_events());
-            }
-            let (events, _) = fleet.finish();
-            (events, peak)
-        },
+        || run_serial_fleet(&days_data),
         || {
             let mut fleet = BaselineFleet::standard();
             let mut peak = 0usize;
@@ -334,6 +369,44 @@ fn main() {
         },
     );
     drop(base_hp_days);
+
+    // ---- Telemetry overhead lane ----------------------------------------
+    // Re-time the full serial measurement (telescope + fleet) with
+    // dosscope-obs collection off and on, interleaved so scheduler and
+    // frequency noise land on both lanes alike. The disabled lane is the
+    // shipping default — every instrumentation site collapses to one
+    // relaxed atomic load plus the always-on batch counters — and the
+    // check section gates its wall against the committed trajectory on
+    // full-scale runs. The enabled ratio is informational: it prices the
+    // clock reads collection adds.
+    let ((telem_off_events, telem_off_secs), (telem_on_events, telem_on_secs)) = time_pair(
+        SERIAL_REPS,
+        || {
+            dosscope_obs::set_enabled(false);
+            let t = run_serial_telescope(telescope, &days_data);
+            let f = run_serial_fleet(&days_data);
+            (t.0, f.0)
+        },
+        || {
+            dosscope_obs::set_enabled(true);
+            let t = run_serial_telescope(telescope, &days_data);
+            let f = run_serial_fleet(&days_data);
+            dosscope_obs::set_enabled(false);
+            (t.0, f.0)
+        },
+    );
+    assert_eq!(
+        telem_off_events, telem_on_events,
+        "telemetry collection changed the measured events"
+    );
+    // Drop the counters the lane itself accumulated so an optional
+    // --telemetry emission below reflects only the pool lanes.
+    dosscope_obs::reset();
+    let telemetry_enabled_overhead = ratio(telem_on_secs, telem_off_secs);
+    if opts.telemetry {
+        dosscope_obs::set_enabled(true);
+    }
+    dosscope_obs::init_from_env();
 
     // ---- Dispatch chunks for the pool lanes (built outside all timers) --
     let tele_chunks: Vec<Arc<Vec<PacketBatch>>> = days_data
@@ -460,7 +533,7 @@ fn main() {
     let cpus = std::thread::available_parallelism().map_or(0, |n| n.get());
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": \"dosscope-bench-pipeline-v2\",");
+    let _ = writeln!(json, "  \"schema\": \"dosscope-bench-pipeline-v3\",");
     let _ = writeln!(json, "  \"scale\": {},", opts.scale);
     let _ = writeln!(json, "  \"days\": {},", opts.days);
     let _ = writeln!(json, "  \"smoke\": {},", opts.smoke);
@@ -488,6 +561,11 @@ fn main() {
         json,
         "  \"speedup\": {{\"telescope\": {:.3}, \"fleet\": {:.3}, \"measurement\": {:.3}}},",
         speedup_tele, speedup_fleet, speedup_measurement
+    );
+    let _ = writeln!(
+        json,
+        "  \"telemetry\": {{\"disabled_wall_secs\": {:.6}, \"enabled_wall_secs\": {:.6}, \"enabled_overhead\": {:.4}}},",
+        telem_off_secs, telem_on_secs, telemetry_enabled_overhead
     );
     let _ = writeln!(
         json,
@@ -557,6 +635,9 @@ fn main() {
     }
     println!(
         "  speedup vs pre-overhaul baseline: telescope {speedup_tele:.2}x, fleet {speedup_fleet:.2}x, measurement {speedup_measurement:.2}x"
+    );
+    println!(
+        "  telemetry lane: disabled {telem_off_secs:.3}s, enabled {telem_on_secs:.3}s (x{telemetry_enabled_overhead:.3} when collecting)"
     );
     for (threads, lane) in &par_tele {
         println!(
@@ -659,7 +740,27 @@ fn main() {
                 }
             }
         }
+        // Disabled-telemetry budget: only comparable when this run did
+        // the same work as the committed one (full scale, same window) —
+        // wall seconds do not transfer across scales. CI's smoke check
+        // skips it; the gate binds whenever the trajectory is
+        // regenerated.
+        if !opts.smoke && c.scale == opts.scale && c.days == opts.days as f64 {
+            let committed_meas = c.tele1_wall + c.fleet1_wall;
+            if telem_off_secs > committed_meas * DISABLED_TELEMETRY_BUDGET {
+                fail(&format!(
+                    "disabled-telemetry serial measurement regressed past the committed trajectory: {telem_off_secs:.3}s vs {committed_meas:.3}s (budget {DISABLED_TELEMETRY_BUDGET}x)"
+                ));
+            }
+        }
         println!("  check against {path}: ok");
+    }
+
+    if dosscope_obs::enabled() {
+        let snapshot = dosscope_obs::Telemetry::capture();
+        println!("{}", snapshot.render_ascii());
+        std::fs::write("TELEMETRY.json", snapshot.to_json()).expect("write TELEMETRY.json");
+        println!("wrote TELEMETRY.json");
     }
 }
 
@@ -826,13 +927,24 @@ struct Committed {
     speedup_measurement: f64,
     par_tele8: f64,
     par_fleet8: f64,
+    /// Committed run parameters, for the wall-comparable gates.
+    scale: f64,
+    days: f64,
+    /// Committed serial measurement walls (threads=1 telescope / fleet).
+    tele1_wall: f64,
+    fleet1_wall: f64,
 }
 
 /// Minimal structural validation + value extraction for the writer's own
 /// one-stage-per-line format. Not a general JSON parser on purpose: the
 /// file is produced by this binary, and a format drift should fail loudly.
+/// Accepts the previous v2 schema too (identical except it lacks the
+/// telemetry record) so a regeneration can check against a pre-telemetry
+/// trajectory.
 fn parse_committed(text: &str) -> Result<Committed, String> {
-    if !text.contains("\"schema\": \"dosscope-bench-pipeline-v2\"") {
+    if !text.contains("\"schema\": \"dosscope-bench-pipeline-v3\"")
+        && !text.contains("\"schema\": \"dosscope-bench-pipeline-v2\"")
+    {
         return Err("missing or unknown schema marker".to_string());
     }
     // Every (stage, threads) pair must be present with a finite wall time.
@@ -850,6 +962,8 @@ fn parse_committed(text: &str) -> Result<Committed, String> {
         }
     }
     let mut threaded_peaks_ok = true;
+    let mut tele1_wall = 0.0;
+    let mut fleet1_wall = 0.0;
     for line in text.lines() {
         let Some(name) = extract_str(line, "name") else {
             continue;
@@ -861,6 +975,13 @@ fn parse_committed(text: &str) -> Result<Committed, String> {
             .ok_or_else(|| format!("stage {name} has no wall_secs field"))?;
         if !wall.is_finite() || wall < 0.0 {
             return Err(format!("stage {name} has invalid wall_secs {wall}"));
+        }
+        if threads == 1 {
+            match name {
+                "telescope" => tele1_wall = wall,
+                "fleet" => fleet1_wall = wall,
+                _ => {}
+            }
         }
         // The pool lanes sample their working set; a zero peak means the
         // accounting broke.
@@ -892,12 +1013,26 @@ fn parse_committed(text: &str) -> Result<Committed, String> {
         extract_num(par_line, key)
             .ok_or_else(|| format!("parallel_speedup record lacks {key}"))
     };
+    let header = |key: &str| {
+        text.lines()
+            .find_map(|l| {
+                l.trim_start()
+                    .starts_with(&format!("\"{key}\""))
+                    .then(|| extract_num(l, key))
+                    .flatten()
+            })
+            .ok_or_else(|| format!("missing {key} field"))
+    };
     Ok(Committed {
         speedup_tele: get("telescope")?,
         speedup_fleet: get("fleet")?,
         speedup_measurement: get("measurement")?,
         par_tele8: get_par("telescope_8")?,
         par_fleet8: get_par("fleet_8")?,
+        scale: header("scale")?,
+        days: header("days")?,
+        tele1_wall,
+        fleet1_wall,
     })
 }
 

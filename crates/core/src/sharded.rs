@@ -58,6 +58,7 @@ impl ShardedEventStore {
     pub fn new(shards: usize) -> ShardedEventStore {
         let shards = shards.max(1);
         let pool = ShardPool::new(
+            "store",
             shards,
             shards,
             QUEUE_DEPTH,
@@ -198,6 +199,7 @@ impl ShardedFusion {
     pub fn new(asdb: Arc<AsDb>, days: u32, shards: usize) -> ShardedFusion {
         let shards = shards.max(1);
         let pool = ShardPool::new(
+            "fusion",
             shards,
             shards,
             QUEUE_DEPTH,
@@ -254,6 +256,7 @@ impl ShardedFusion {
     /// The current fused state, merged once over shards (a barrier: runs
     /// after everything pushed so far).
     pub fn snapshot(&mut self) -> StreamingSnapshot {
+        let _span = dosscope_obs::span!("fusion.join");
         let parts = self
             .pool
             .barrier(|lane: &mut FusionLane| {

@@ -112,6 +112,9 @@ impl FusionState {
 
     /// Ingest one event, with the target's origin AS already resolved.
     pub fn push(&mut self, event: &AttackEvent, asn: Option<u32>) {
+        // Telemetry mirror; the serial and sharded fusion both funnel
+        // every event through here exactly once.
+        dosscope_obs::counter!("fusion.events").inc();
         let source = event.source();
 
         // Live joint correlation first: does this event overlap any open

@@ -1,40 +1,56 @@
 //! Internal diagnostic: slot-tier hit coverage (not part of the public
 //! reproduction surface; used to calibrate the generator).
 //!
-//! Usage: `diag [--threads N]` — worker count for the measurement
+//! Usage: `diag [--threads N]` (plus the shared harness flags,
+//! including `--telemetry`) — worker count for the measurement
 //! pipelines; the diagnostic output is identical for any value.
 
-use dosscope_harness::{Scenario, ScenarioConfig};
 use dosscope_dns::OrgRole;
+use dosscope_harness::cli::{self, Command};
+use dosscope_harness::Scenario;
+use dosscope_obs::{obs_debug, obs_error};
 use std::collections::HashMap;
 
-fn parse_args() -> ScenarioConfig {
-    let mut config = ScenarioConfig::default();
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--threads" => {
-                config.threads = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| panic!("--threads needs a numeric value"))
-            }
-            "--help" | "-h" => {
-                eprintln!("usage: diag [--threads N]");
-                std::process::exit(0);
-            }
-            other => {
-                eprintln!("unknown argument {other}");
-                std::process::exit(2);
+fn main() {
+    let opts = match cli::parse(std::env::args().skip(1)) {
+        Ok(Command::Run(opts)) => opts,
+        Ok(Command::Help) => {
+            eprintln!("{}", cli::usage("diag"));
+            return;
+        }
+        Ok(Command::ValidateTelemetry(path)) => {
+            let text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    std::process::exit(2);
+                }
+            };
+            match dosscope_harness::telemetry::validate(&text) {
+                Ok(summary) => {
+                    println!("{summary}");
+                    return;
+                }
+                Err(problems) => {
+                    eprintln!("{path} failed validation:\n{problems}");
+                    std::process::exit(1);
+                }
             }
         }
-    }
-    config.threads = config.threads.max(1);
-    config
-}
+        Err(msg) => {
+            eprintln!("{msg}\n{}", cli::usage("diag"));
+            std::process::exit(2);
+        }
+    };
 
-fn main() {
-    let config = parse_args();
+    dosscope_obs::log::set_level(dosscope_obs::log::level_from_flags(opts.quiet, opts.verbose));
+    dosscope_obs::init_from_env();
+    if opts.telemetry {
+        dosscope_obs::set_enabled(true);
+    }
+
+    let config = opts.config;
+    obs_debug!("running diagnostic scenario: {config:?}");
     let world = Scenario::run(&config);
     let mut hits: HashMap<std::net::Ipv4Addr, u32> = HashMap::new();
     for e in world.store.telescope().iter().chain(world.store.honeypot()) {
@@ -110,5 +126,14 @@ fn main() {
             100.0 * *gt5 as f64 / *sites as f64,
             *total as f64 / *sites as f64
         );
+    }
+
+    if dosscope_obs::enabled() {
+        let snapshot = dosscope_obs::Telemetry::capture();
+        println!("{}", snapshot.render_ascii());
+        if let Err(e) = std::fs::write(&opts.telemetry_out, snapshot.to_json()) {
+            obs_error!("cannot write {}: {e}", opts.telemetry_out);
+            std::process::exit(1);
+        }
     }
 }

@@ -2,50 +2,67 @@
 //! scale, prints every table and figure, and the paper-vs-measured
 //! comparison.
 //!
-//! Usage: `repro [--scale N] [--seed N] [--days N] [--threads N]`
+//! Usage: `repro [--scale N] [--seed N] [--days N] [--threads N]
+//! [--smoke] [--telemetry] [--telemetry-out PATH] [--quiet] [-v]
+//! [--validate-telemetry PATH]`
 //!
 //! `--threads` selects the measurement worker count; results are
 //! byte-identical for any value (the pipelines shard by target /16).
+//! With `--telemetry` (or `DOSSCOPE_TELEMETRY=1`) the run collects
+//! spans, counters and pool profiles, writes `TELEMETRY.json` and
+//! appends the ASCII dashboard to the report.
 
+use dosscope_harness::cli::{self, Command};
 use dosscope_harness::experiments::Experiments;
-use dosscope_harness::{Scenario, ScenarioConfig};
-
-fn parse_args() -> ScenarioConfig {
-    let mut config = ScenarioConfig::default();
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        let mut take = |name: &str| -> f64 {
-            args.next()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or_else(|| panic!("{name} needs a numeric value"))
-        };
-        match arg.as_str() {
-            "--scale" => config.scale = take("--scale"),
-            "--seed" => config.seed = take("--seed") as u64,
-            "--days" => config.days = take("--days") as u32,
-            "--threads" => config.threads = (take("--threads") as usize).max(1),
-            "--help" | "-h" => {
-                eprintln!("usage: repro [--scale N] [--seed N] [--days N] [--threads N]");
-                std::process::exit(0);
-            }
-            other => {
-                eprintln!("unknown argument {other}");
-                std::process::exit(2);
-            }
-        }
-    }
-    config
-}
+use dosscope_harness::{telemetry, Scenario};
+use dosscope_obs::{obs_error, obs_info};
 
 fn main() {
-    let config = parse_args();
-    eprintln!(
+    let opts = match cli::parse(std::env::args().skip(1)) {
+        Ok(Command::Run(opts)) => opts,
+        Ok(Command::Help) => {
+            eprintln!("{}", cli::usage("repro"));
+            return;
+        }
+        Ok(Command::ValidateTelemetry(path)) => {
+            let text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    std::process::exit(2);
+                }
+            };
+            match telemetry::validate(&text) {
+                Ok(summary) => {
+                    println!("{summary}");
+                    return;
+                }
+                Err(problems) => {
+                    eprintln!("{path} failed validation:\n{problems}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Err(msg) => {
+            eprintln!("{msg}\n{}", cli::usage("repro"));
+            std::process::exit(2);
+        }
+    };
+
+    dosscope_obs::log::set_level(dosscope_obs::log::level_from_flags(opts.quiet, opts.verbose));
+    dosscope_obs::init_from_env();
+    if opts.telemetry {
+        dosscope_obs::set_enabled(true);
+    }
+
+    let config = opts.config;
+    obs_info!(
         "running scenario: scale 1/{}, {} days, seed {:#x}, {} thread(s) ...",
         config.scale, config.days, config.seed, config.threads
     );
     let t0 = std::time::Instant::now();
     let world = Scenario::run(&config);
-    eprintln!(
+    obs_info!(
         "scenario done in {:.1?}: {} telescope events, {} honeypot events",
         t0.elapsed(),
         world.store.telescope().len(),
@@ -55,4 +72,14 @@ fn main() {
     println!("{}", experiments.render_report());
     let rows = experiments.compare();
     println!("{}", Experiments::render_comparison(&rows));
+
+    if dosscope_obs::enabled() {
+        let snapshot = dosscope_obs::Telemetry::capture();
+        println!("{}", snapshot.render_ascii());
+        if let Err(e) = std::fs::write(&opts.telemetry_out, snapshot.to_json()) {
+            obs_error!("cannot write {}: {e}", opts.telemetry_out);
+            std::process::exit(1);
+        }
+        obs_info!("telemetry written to {}", opts.telemetry_out);
+    }
 }

@@ -88,6 +88,7 @@ pub struct Experiments<'a> {
 impl<'a> Experiments<'a> {
     /// Run every analysis once.
     pub fn run(world: &'a World, scale: f64) -> Experiments<'a> {
+        let _span = dosscope_obs::span!("report.assemble");
         let fw = world.framework();
         let web = WebImpact::analyze(&fw).expect("scenario attaches DNS");
         let migration = MigrationAnalysis::analyze(&fw, &web).expect("scenario attaches DPS");
@@ -106,6 +107,7 @@ impl<'a> Experiments<'a> {
 
     /// The full text report: every table and figure.
     pub fn render_report(&self) -> String {
+        let _span = dosscope_obs::span!("report.render");
         let mut s = String::new();
         let _ = writeln!(s, "=== dosscope reproduction report (scale 1/{}) ===\n", self.scale);
         let _ = writeln!(s, "{}", Table1::build(&self.fw).render());

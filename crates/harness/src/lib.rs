@@ -14,8 +14,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod experiments;
 pub mod paper;
 pub mod scenario;
+pub mod telemetry;
 
 pub use scenario::{Scenario, ScenarioConfig, World};

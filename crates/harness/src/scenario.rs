@@ -20,7 +20,7 @@ use dosscope_types::DayIndex;
 
 /// Scenario parameters. `scale` divides every paper-scale quantity; the
 /// default (2000) runs the full 731-day window in seconds of CPU time.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioConfig {
     /// Master seed (world, ground truth and rendering all derive from it).
     pub seed: u64,
@@ -111,6 +111,7 @@ impl Scenario {
     /// Run the full loop for a configuration.
     pub fn run(config: &ScenarioConfig) -> World {
         // 1. World: address plan, metadata databases, DNS namespace.
+        let world_span = dosscope_obs::span!("stage.world");
         let registry = AsRegistry::build(&RegistryConfig {
             seed: config.seed ^ 0x9E0,
             ..RegistryConfig::default()
@@ -126,8 +127,10 @@ impl Scenario {
             },
             &registry,
         );
+        drop(world_span);
 
         // 2. Ground truth + behavioural migrations (mutates the zone).
+        let truth_span = dosscope_obs::span!("stage.truth");
         let gen_config = GenConfig {
             seed: config.seed ^ 0xA77,
             days: config.days,
@@ -142,6 +145,7 @@ impl Scenario {
         // 3. Measure DPS adoption from the (mutated) zone — the inference
         // side of Section 3.3.
         let dps = DpsDataset::infer(&synth.zone, &synth.catalog, &asdb);
+        drop(truth_span);
 
         // 4. Render observations and drive both measurement pipelines.
         let telescope = Telescope::default_slash8();
@@ -156,6 +160,7 @@ impl Scenario {
         // The third data source: botnet C&C monitoring (Section 8
         // extension). Commands are generated from the same ground truth
         // and inferred back by the monitor.
+        let _botmon_span = dosscope_obs::span!("stage.botmon");
         let commands = dosscope_attackgen::botnets::generate_commands(
             &gen_config,
             &registry,
@@ -214,6 +219,7 @@ fn drive_pipelines(
     crossbeam::scope(|s| {
         s.spawn(move |_| {
             for d in 0..days {
+                let _render = dosscope_obs::span!("stage.render");
                 let day = DayIndex(d);
                 let t = renderer.telescope_day(day);
                 let h = renderer.honeypot_day(day);
@@ -223,6 +229,7 @@ fn drive_pipelines(
             }
         });
         for (tele_batches, hp_batches) in rx.iter() {
+            let _detect = dosscope_obs::span!("stage.detect");
             for b in &tele_batches {
                 let iv = b.ts.secs() / 60;
                 match interval {
@@ -242,6 +249,7 @@ fn drive_pipelines(
     })
     .expect("pipeline threads never panic");
 
+    let _fuse = dosscope_obs::span!("stage.fuse");
     plugin.finish();
     let (tele_events, tele_stats) = plugin.into_results();
     let (hp_events, fleet_stats) = fleet.finish();
@@ -281,26 +289,27 @@ fn drive_pipelines_sharded(
         s.spawn(move |_| {
             for d in 0..days {
                 let day = DayIndex(d);
-                let t = dosscope_telescope::route_batches(
-                    Arc::new(renderer.telescope_day(day)),
-                    threads,
-                );
-                let h = dosscope_amppot::route_requests(
-                    Arc::new(renderer.honeypot_day(day)),
-                    threads,
-                );
+                let rendered = {
+                    let _render = dosscope_obs::span!("stage.render");
+                    (renderer.telescope_day(day), renderer.honeypot_day(day))
+                };
+                let _route = dosscope_obs::span!("stage.route");
+                let t = dosscope_telescope::route_batches(Arc::new(rendered.0), threads);
+                let h = dosscope_amppot::route_requests(Arc::new(rendered.1), threads);
                 if tx.send((t, h)).is_err() {
                     return;
                 }
             }
         });
         for (tele_routed, hp_routed) in rx.iter() {
+            let _detect = dosscope_obs::span!("stage.detect");
             rsdos.ingest_routed(tele_routed);
             fleet.ingest_routed(hp_routed);
         }
     })
     .expect("pipeline threads never panic");
 
+    let _fuse = dosscope_obs::span!("stage.fuse");
     let (tele_events, tele_stats, _peak) = rsdos.finish();
     let (hp_events, fleet_stats, _peak) = fleet.finish();
 

@@ -1,0 +1,128 @@
+//! A tiny leveled logger for the workspace binaries.
+//!
+//! Library crates must not print; binaries route their progress output
+//! through these macros so `--quiet` / `-v` work uniformly. Messages go
+//! to stderr (stdout is reserved for reports and machine-readable
+//! output). The level check is a single relaxed atomic load, so debug
+//! logging costs nothing when not enabled.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Log severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Unrecoverable problems; always shown (even with `--quiet`).
+    Error = 0,
+    /// Suspicious conditions worth surfacing by default.
+    Warn = 1,
+    /// Normal progress output (the default level).
+    Info = 2,
+    /// Verbose diagnostics, enabled with `-v`.
+    Debug = 3,
+}
+
+impl Level {
+    fn tag(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+
+/// Set the maximum level that will be emitted.
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current maximum emitted level.
+pub fn level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Error,
+        1 => Level::Warn,
+        2 => Level::Info,
+        _ => Level::Debug,
+    }
+}
+
+/// Resolve the level implied by CLI verbosity knobs: `--quiet` wins,
+/// then any `-v` raises to debug, otherwise info.
+pub fn level_from_flags(quiet: bool, verbose: bool) -> Level {
+    if quiet {
+        Level::Error
+    } else if verbose {
+        Level::Debug
+    } else {
+        Level::Info
+    }
+}
+
+/// Emit one record at `level` (no-op if above the current level).
+/// Prefer the [`crate::obs_info!`]-family macros.
+pub fn log(level: Level, args: std::fmt::Arguments<'_>) {
+    if level as u8 > LEVEL.load(Ordering::Relaxed) {
+        return;
+    }
+    let stderr = std::io::stderr();
+    let mut out = stderr.lock();
+    // A failed write to stderr leaves nowhere to report; ignore it.
+    let _ = writeln!(out, "[{}] {}", level.tag(), args);
+}
+
+/// Log at error level.
+#[macro_export]
+macro_rules! obs_error {
+    ($($arg:tt)*) => {
+        $crate::log::log($crate::log::Level::Error, format_args!($($arg)*))
+    };
+}
+
+/// Log at warn level.
+#[macro_export]
+macro_rules! obs_warn {
+    ($($arg:tt)*) => {
+        $crate::log::log($crate::log::Level::Warn, format_args!($($arg)*))
+    };
+}
+
+/// Log at info level.
+#[macro_export]
+macro_rules! obs_info {
+    ($($arg:tt)*) => {
+        $crate::log::log($crate::log::Level::Info, format_args!($($arg)*))
+    };
+}
+
+/// Log at debug level.
+#[macro_export]
+macro_rules! obs_debug {
+    ($($arg:tt)*) => {
+        $crate::log::log($crate::log::Level::Debug, format_args!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_resolution() {
+        assert_eq!(level_from_flags(false, false), Level::Info);
+        assert_eq!(level_from_flags(false, true), Level::Debug);
+        assert_eq!(level_from_flags(true, true), Level::Error);
+    }
+
+    #[test]
+    fn level_roundtrip() {
+        let prior = level();
+        set_level(Level::Warn);
+        assert_eq!(level(), Level::Warn);
+        set_level(prior);
+    }
+}

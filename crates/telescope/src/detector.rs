@@ -123,6 +123,12 @@ impl RsdosDetector {
             return;
         }
         self.stats.backscatter_packets += batch.count as u64;
+        // Telemetry mirrors of the per-detector stats: incremented at
+        // the same sites on both the serial and the sharded path, so
+        // their totals are identical for a fixed seed at any thread
+        // count.
+        dosscope_obs::counter!("telescope.batches").inc();
+        dosscope_obs::counter!("telescope.backscatter_packets").add(batch.count as u64);
         if let Some(expired) = self
             .flows
             .offer(&bs, batch.ts, batch.count, batch.total_bytes())
@@ -165,6 +171,9 @@ impl RsdosDetector {
 
     fn finalize(&mut self, flow: Flow) {
         self.stats.flows_finalized += 1;
+        // Flow expiry is decided per flow by its own idle gap, never by
+        // the sweep cadence, so this count is thread-count invariant.
+        dosscope_obs::counter!("telescope.flows_expired").inc();
         let duration = flow.duration_secs();
         let max_pps = flow.max_pps();
         if flow.packets < self.config.min_packets
@@ -191,6 +200,7 @@ impl RsdosDetector {
             distinct_sources: flow.distinct_sources(),
         });
         self.stats.events += 1;
+        dosscope_obs::counter!("telescope.events").inc();
     }
 }
 

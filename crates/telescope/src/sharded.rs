@@ -109,6 +109,7 @@ impl ShardedRsdos {
         let shards = shards.max(1);
         let interval_secs = interval_secs.max(1);
         let pool = ShardPool::new(
+            "telescope",
             shards,
             shards,
             QUEUE_DEPTH,
@@ -182,6 +183,9 @@ impl ShardedRsdos {
             peak += pk;
         }
         events.sort_by_key(|e| (e.when.start, e.target));
+        // Peak working set: summed per-shard maxima of live flows (each
+        // shard's pool gauges carry the per-worker detail).
+        dosscope_obs::gauge!("telescope.peak_live_flows").raise(peak);
         (events, stats, peak)
     }
 }

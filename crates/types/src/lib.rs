@@ -6,8 +6,10 @@
 //! (empirical CDFs, percentiles, log-binned histograms, daily time series)
 //! used by the analysis and reporting layers.
 //!
-//! The crate is dependency-free (std only) so every other crate in the
-//! workspace can build on it without pulling in anything else.
+//! The crate is std-only: its single dependency is the workspace's own
+//! `dosscope-obs` telemetry layer (itself std-only), so every other
+//! crate in the workspace can build on it without pulling in anything
+//! external.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,7 +30,7 @@ pub use event::{
 };
 pub use fasthash::{FastBuildHasher, FastMap, FastSet, FxHasher};
 pub use net::{Asn, CountryCode, Ipv4Cidr, Prefix16, Prefix24};
-pub use pool::{PoolError, Routed, ShardPool};
+pub use pool::{PoolError, PoolMetricsSnapshot, Routed, ShardPool, WorkerMetricsSnapshot};
 pub use shard::{shard_of, shard_of_addr};
 pub use stats::{Ecdf, FrozenEcdf, LogHistogram, RunningStats, TimeSeries};
 pub use time::{

@@ -31,10 +31,25 @@
 //! joins every thread and re-raises the original panic payload on the
 //! caller thread ([`std::panic::resume_unwind`]). Operations on a pool
 //! that was already shut down return [`PoolError::ShutDown`] instead.
+//!
+//! ## Profiling
+//!
+//! Every pool carries a name and a [`PoolMetrics`] block: per-worker
+//! busy/idle wall time, processed job counts, channel queue-depth
+//! high-water marks, and caller-side barrier-wait time. Queue and job
+//! counts are always-on relaxed atomics (a handful per *batch*, never
+//! per item); the wall-clock measurements additionally require
+//! `dosscope_obs::enabled()` so the disabled pipeline never reads the
+//! clock. On shutdown — including the panic-propagation path, so a
+//! failed run still leaves a coherent partial snapshot — the metrics
+//! are published to the global `obs` registry as `pool.<name>.*`
+//! gauges; [`ShardPool::metrics`] exposes the same numbers directly.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Error for operations on a pool whose workers are gone.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -104,6 +119,131 @@ impl<T> Routed<T> {
     }
 }
 
+/// Per-worker instrumentation: all fields are relaxed atomics updated
+/// by exactly one worker (busy/idle/jobs) or the dispatcher (queue).
+#[derive(Default)]
+struct WorkerMetrics {
+    /// Wall time spent processing jobs (only while telemetry enabled).
+    busy_ns: AtomicU64,
+    /// Wall time spent blocked in `recv` (only while telemetry enabled).
+    idle_ns: AtomicU64,
+    /// Batches processed (always on).
+    batches: AtomicU64,
+    /// Jobs currently queued or in flight on this worker's channel.
+    queue_len: AtomicU64,
+    /// High-water mark of `queue_len` (always on).
+    queue_hwm: AtomicU64,
+}
+
+/// Instrumentation block shared by a pool, its workers and (via
+/// [`ShardPool::metrics`]) the caller. Lives in an `Arc`, so snapshots
+/// remain readable after shutdown — including after a worker panic.
+pub struct PoolMetrics {
+    name: &'static str,
+    shards: usize,
+    workers: Vec<WorkerMetrics>,
+    /// Dispatch calls routed into the pool (always on).
+    dispatches: AtomicU64,
+    /// Barriers executed (always on).
+    barriers: AtomicU64,
+    /// Caller wall time spent waiting on barrier replies (enabled only).
+    barrier_wait_ns: AtomicU64,
+}
+
+/// Plain-data snapshot of one worker's [`PoolMetrics`] entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerMetricsSnapshot {
+    /// Wall nanoseconds processing jobs (0 unless telemetry was on).
+    pub busy_ns: u64,
+    /// Wall nanoseconds blocked waiting for work (0 unless telemetry
+    /// was on).
+    pub idle_ns: u64,
+    /// Batches this worker processed.
+    pub batches: u64,
+    /// Highest number of jobs simultaneously queued or in flight.
+    pub queue_hwm: u64,
+}
+
+/// Plain-data snapshot of a pool's [`PoolMetrics`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolMetricsSnapshot {
+    /// The pool's registry name (`pool.<name>.*`).
+    pub name: &'static str,
+    /// Number of shards the pool was built with.
+    pub shards: usize,
+    /// One entry per worker thread.
+    pub workers: Vec<WorkerMetricsSnapshot>,
+    /// Dispatch calls routed into the pool.
+    pub dispatches: u64,
+    /// Barriers executed.
+    pub barriers: u64,
+    /// Caller wall nanoseconds waiting on barriers (0 unless telemetry
+    /// was on).
+    pub barrier_wait_ns: u64,
+}
+
+impl PoolMetrics {
+    fn new(name: &'static str, shards: usize, workers: usize) -> PoolMetrics {
+        PoolMetrics {
+            name,
+            shards,
+            workers: (0..workers).map(|_| WorkerMetrics::default()).collect(),
+            dispatches: AtomicU64::new(0),
+            barriers: AtomicU64::new(0),
+            barrier_wait_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Record a job entering worker `w`'s queue (dispatcher side).
+    fn enqueue(&self, w: usize) {
+        let m = &self.workers[w];
+        let depth = m.queue_len.fetch_add(1, Ordering::Relaxed) + 1;
+        m.queue_hwm.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Copy the current values into a plain snapshot.
+    pub fn snapshot(&self) -> PoolMetricsSnapshot {
+        PoolMetricsSnapshot {
+            name: self.name,
+            shards: self.shards,
+            workers: self
+                .workers
+                .iter()
+                .map(|w| WorkerMetricsSnapshot {
+                    busy_ns: w.busy_ns.load(Ordering::Relaxed),
+                    idle_ns: w.idle_ns.load(Ordering::Relaxed),
+                    batches: w.batches.load(Ordering::Relaxed),
+                    queue_hwm: w.queue_hwm.load(Ordering::Relaxed),
+                })
+                .collect(),
+            dispatches: self.dispatches.load(Ordering::Relaxed),
+            barriers: self.barriers.load(Ordering::Relaxed),
+            barrier_wait_ns: self.barrier_wait_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Publish the current values as `pool.<name>.*` gauges in the
+    /// global telemetry registry (no-op while telemetry is disabled).
+    fn publish(&self) {
+        if !dosscope_obs::enabled() {
+            return;
+        }
+        let snap = self.snapshot();
+        let base = format!("pool.{}", self.name);
+        dosscope_obs::gauge(&format!("{base}.workers")).set(snap.workers.len() as u64);
+        dosscope_obs::gauge(&format!("{base}.shards")).set(snap.shards as u64);
+        dosscope_obs::gauge(&format!("{base}.dispatches")).set(snap.dispatches);
+        dosscope_obs::gauge(&format!("{base}.barriers")).set(snap.barriers);
+        dosscope_obs::gauge(&format!("{base}.barrier_wait_us")).set(snap.barrier_wait_ns / 1_000);
+        for (k, w) in snap.workers.iter().enumerate() {
+            dosscope_obs::gauge(&format!("{base}.w{k}.busy_us")).set(w.busy_ns / 1_000);
+            dosscope_obs::gauge(&format!("{base}.w{k}.idle_us")).set(w.idle_ns / 1_000);
+            dosscope_obs::gauge(&format!("{base}.w{k}.batches")).set(w.batches);
+            dosscope_obs::gauge(&format!("{base}.w{k}.queue_hwm")).set(w.queue_hwm);
+        }
+    }
+}
+
 /// A barrier closure run against a worker's owned `(shard, state)` slice.
 type BarrierCall<S> = Box<dyn FnOnce(&mut Vec<(usize, S)>) + Send>;
 
@@ -128,6 +268,7 @@ struct Lane<B, S, O> {
 pub struct ShardPool<B, S, O> {
     shards: usize,
     lanes: Vec<Lane<B, S, O>>,
+    metrics: Arc<PoolMetrics>,
     down: bool,
 }
 
@@ -140,13 +281,15 @@ where
     /// Spawn the pool: `shards` states (built by `init`, in shard order,
     /// on the calling thread) distributed over `min(threads, shards)`
     /// long-lived workers (`threads > shards` simply caps at one worker
-    /// per shard; 0 of either is treated as 1).
+    /// per shard; 0 of either is treated as 1). `name` identifies the
+    /// pool in telemetry (`pool.<name>.*`).
     ///
     /// For every dispatched batch a worker calls
     /// `process(state, shard, shards, &batch)` once per shard it owns, in
     /// shard order. At shutdown it calls `finish(state)` per shard and
     /// returns the outputs.
     pub fn new<I, P, F>(
+        name: &'static str,
         shards: usize,
         threads: usize,
         queue_depth: usize,
@@ -162,6 +305,7 @@ where
         let shards = shards.max(1);
         let workers = threads.max(1).min(shards);
         let depth = queue_depth.max(1);
+        let metrics = Arc::new(PoolMetrics::new(name, shards, workers));
         let mut states: Vec<Option<(usize, S)>> =
             (0..shards).map(|s| Some((s, init(s)))).collect();
         let lanes = (0..workers)
@@ -175,18 +319,35 @@ where
                 let (tx, rx) = sync_channel::<Job<B, S>>(depth);
                 let process = process.clone();
                 let finish = finish.clone();
+                let metrics = metrics.clone();
                 let handle = std::thread::Builder::new()
                     .name(format!("shard-worker-{w}"))
                     .spawn(move || {
                         let mut owned = owned;
-                        while let Ok(job) = rx.recv() {
+                        let wm = &metrics.workers[w];
+                        loop {
+                            // Clock reads only happen while telemetry is
+                            // enabled; the counters below are always on.
+                            let wait = dosscope_obs::enabled().then(Instant::now);
+                            let Ok(job) = rx.recv() else { break };
+                            wm.queue_len.fetch_sub(1, Ordering::Relaxed);
+                            if let Some(t) = wait {
+                                wm.idle_ns
+                                    .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                            }
+                            let work = dosscope_obs::enabled().then(Instant::now);
                             match job {
                                 Job::Batch(batch) => {
                                     for (shard, state) in owned.iter_mut() {
                                         process(state, *shard, shards, &batch);
                                     }
+                                    wm.batches.fetch_add(1, Ordering::Relaxed);
                                 }
                                 Job::Call(f) => f(&mut owned),
+                            }
+                            if let Some(t) = work {
+                                wm.busy_ns
+                                    .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
                             }
                         }
                         owned
@@ -204,6 +365,7 @@ where
         ShardPool {
             shards,
             lanes,
+            metrics,
             down: false,
         }
     }
@@ -223,6 +385,14 @@ where
         self.down
     }
 
+    /// Snapshot of the pool's instrumentation counters. Readable at any
+    /// point in the pool's life, including after [`ShardPool::shutdown`]
+    /// (where data-path calls return [`PoolError::ShutDown`]) and after
+    /// a worker panic was propagated.
+    pub fn metrics(&self) -> PoolMetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
     /// Dispatch one batch to every worker (each processes it against all
     /// of its shards). Returns [`PoolError::ShutDown`] after `shutdown`;
     /// re-raises the worker's panic if one died processing earlier work.
@@ -235,9 +405,11 @@ where
         if self.down {
             return Err(PoolError::ShutDown);
         }
+        self.metrics.dispatches.fetch_add(1, Ordering::Relaxed);
         let mut dead = false;
-        for lane in &self.lanes {
+        for (w, lane) in self.lanes.iter().enumerate() {
             let tx = lane.tx.as_ref().expect("live pool lane has a sender");
+            self.metrics.enqueue(w);
             if tx.send(Job::Batch(batch.clone())).is_err() {
                 dead = true;
             }
@@ -257,8 +429,10 @@ where
             return Err(PoolError::ShutDown);
         }
         assert!(shard < self.shards, "shard index out of range");
-        let lane = &self.lanes[shard % self.lanes.len()];
-        let tx = lane.tx.as_ref().expect("live pool lane has a sender");
+        self.metrics.dispatches.fetch_add(1, Ordering::Relaxed);
+        let w = shard % self.lanes.len();
+        let tx = self.lanes[w].tx.as_ref().expect("live pool lane has a sender");
+        self.metrics.enqueue(w);
         if tx.send(Job::Batch(Arc::new(batch))).is_err() {
             self.propagate_worker_panic();
         }
@@ -278,9 +452,10 @@ where
         if self.down {
             return Err(PoolError::ShutDown);
         }
+        self.metrics.barriers.fetch_add(1, Ordering::Relaxed);
         let mut replies: Vec<Receiver<Vec<(usize, R)>>> = Vec::with_capacity(self.lanes.len());
         let mut dead = false;
-        for lane in &self.lanes {
+        for (w, lane) in self.lanes.iter().enumerate() {
             let (otx, orx) = std::sync::mpsc::channel();
             let g = f.clone();
             let job = Job::Call(Box::new(move |owned: &mut Vec<(usize, S)>| {
@@ -289,6 +464,7 @@ where
                 let _ = otx.send(out);
             }));
             let tx = lane.tx.as_ref().expect("live pool lane has a sender");
+            self.metrics.enqueue(w);
             if tx.send(job).is_err() {
                 dead = true;
                 break;
@@ -297,6 +473,7 @@ where
         }
         let mut results: Vec<(usize, R)> = Vec::with_capacity(self.shards);
         if !dead {
+            let wait = dosscope_obs::enabled().then(Instant::now);
             for orx in replies {
                 match orx.recv() {
                     Ok(part) => results.extend(part),
@@ -305,6 +482,11 @@ where
                         break;
                     }
                 }
+            }
+            if let Some(t) = wait {
+                self.metrics
+                    .barrier_wait_ns
+                    .fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
             }
         }
         if dead {
@@ -338,6 +520,7 @@ where
                 }
             }
         }
+        self.metrics.publish();
         if let Some(payload) = panic_payload {
             std::panic::resume_unwind(payload);
         }
@@ -361,6 +544,9 @@ where
                 }
             }
         }
+        // Publish whatever was recorded up to the failure so a crashed
+        // run still leaves a coherent (partial) telemetry snapshot.
+        self.metrics.publish();
         match panic_payload {
             Some(payload) => std::panic::resume_unwind(payload),
             None => unreachable!("worker disconnected without panicking"),
@@ -388,6 +574,7 @@ impl<B, S, O> Drop for ShardPool<B, S, O> {
                 }
             }
         }
+        self.metrics.publish();
         if let Some(payload) = panic_payload {
             if !std::thread::panicking() {
                 std::panic::resume_unwind(payload);
@@ -417,6 +604,7 @@ mod tests {
 
     fn probe_pool(shards: usize, threads: usize) -> ShardPool<Routed<u32>, Probe, ProbeOutput> {
         ShardPool::new(
+            "probe",
             shards,
             threads,
             4,
@@ -516,6 +704,7 @@ mod tests {
     #[test]
     fn worker_panic_propagates_instead_of_deadlocking() {
         let mut pool: ShardPool<Routed<u32>, u32, u32> = ShardPool::new(
+            "poison",
             4,
             4,
             2,
@@ -561,6 +750,139 @@ mod tests {
         let one = Routed::build(items, 0, |_| 0);
         assert_eq!(one.shards(), 1);
         assert_eq!(one.owned_len(0), 4);
+    }
+
+    /// A pool whose workers sleep per batch, so queueing and barrier
+    /// waits are observable in the instrumentation.
+    fn slow_pool(
+        shards: usize,
+        threads: usize,
+        delay_ms: u64,
+    ) -> ShardPool<Routed<u32>, u64, u64> {
+        ShardPool::new(
+            "slow",
+            shards,
+            threads,
+            4,
+            |_| 0u64,
+            move |state, shard, _shards, routed: &Routed<u32>| {
+                std::thread::sleep(std::time::Duration::from_millis(delay_ms));
+                *state += routed.owned_len(shard) as u64;
+            },
+            |s| s,
+        )
+    }
+
+    #[test]
+    fn metrics_track_queue_depth_and_barrier_wait_with_more_threads_than_shards() {
+        let _t = dosscope_obs::testing::scoped_enable();
+        // threads > shards caps at one worker per shard; instrumentation
+        // must still attribute per worker, not per requested thread.
+        let mut pool = slow_pool(2, 8, 3);
+        assert_eq!(pool.workers(), 2);
+        for _ in 0..3 {
+            pool.dispatch(route(vec![0, 1], 2)).unwrap();
+        }
+        let sums = pool.barrier(|s: &mut u64| *s).unwrap();
+        assert_eq!(sums, vec![3, 3]);
+        let m = pool.metrics();
+        assert_eq!(m.name, "slow");
+        assert_eq!(m.shards, 2);
+        assert_eq!(m.workers.len(), 2);
+        assert_eq!(m.dispatches, 3);
+        assert_eq!(m.barriers, 1);
+        // Three quick dispatches against 3ms batches: at least two jobs
+        // were simultaneously queued on each worker at some point.
+        for (k, w) in m.workers.iter().enumerate() {
+            assert!(w.queue_hwm >= 2, "worker {k} queue hwm {}", w.queue_hwm);
+            assert_eq!(w.batches, 3);
+            assert!(w.busy_ns > 0, "worker {k} recorded busy time");
+        }
+        // The barrier had to wait for ~9ms of queued work per worker.
+        assert!(
+            m.barrier_wait_ns >= 2_000_000,
+            "barrier wait {}ns", m.barrier_wait_ns
+        );
+        let outs = pool.shutdown().unwrap();
+        assert_eq!(outs, vec![3, 3]);
+    }
+
+    #[test]
+    fn metrics_survive_shutdown_and_publish_to_registry() {
+        let _t = dosscope_obs::testing::scoped_enable();
+        let mut pool = probe_pool(2, 2);
+        pool.dispatch(route(vec![0, 1, 2, 3], 2)).unwrap();
+        pool.shutdown().unwrap();
+        // The data path is closed, but the snapshot is still coherent.
+        assert!(pool.is_shut_down());
+        let m = pool.metrics();
+        assert_eq!(m.dispatches, 1);
+        assert_eq!(m.workers.iter().map(|w| w.batches).sum::<u64>(), 2);
+        // Shutdown published the same numbers as pool.probe.* gauges.
+        let gauges = dosscope_obs::registry::gauges_snapshot();
+        let get = |name: &str| {
+            gauges
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        assert_eq!(get("pool.probe.workers"), 2);
+        assert_eq!(get("pool.probe.shards"), 2);
+        assert_eq!(get("pool.probe.dispatches"), 1);
+    }
+
+    #[test]
+    fn disabled_telemetry_records_no_wall_time() {
+        // No scoped_enable: telemetry is off, so the pool must never
+        // read the clock — but the always-on counters still work.
+        let mut pool = probe_pool(2, 2);
+        pool.dispatch(route(vec![0, 1], 2)).unwrap();
+        pool.barrier(|s: &mut Probe| s.batches).unwrap();
+        pool.shutdown().unwrap();
+        let m = pool.metrics();
+        assert_eq!(m.dispatches, 1);
+        assert_eq!(m.barriers, 1);
+        assert!(m.workers.iter().all(|w| w.busy_ns == 0 && w.idle_ns == 0));
+        assert_eq!(m.barrier_wait_ns, 0);
+    }
+
+    #[test]
+    fn worker_panic_leaves_a_coherent_partial_metrics_snapshot() {
+        let _t = dosscope_obs::testing::scoped_enable();
+        let mut pool: ShardPool<Routed<u32>, u32, u32> = ShardPool::new(
+            "crashy",
+            2,
+            2,
+            4,
+            |_| 0,
+            |state, shard, _shards, routed: &Routed<u32>| {
+                for v in routed.owned(shard) {
+                    assert!(*v != 13, "poison item reached shard {shard}");
+                    *state += v;
+                }
+            },
+            |s| s,
+        );
+        pool.dispatch(route(vec![1, 2], 2)).unwrap();
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.dispatch(route(vec![13], 2)).unwrap();
+            for i in 0..64 {
+                pool.dispatch(route(vec![i], 2)).unwrap();
+            }
+            pool.shutdown().unwrap();
+        }))
+        .expect_err("worker panic must propagate");
+        drop(err);
+        // The panic path still published a partial snapshot: the clean
+        // dispatches before the poison batch are accounted for.
+        let m = pool.metrics();
+        assert!(m.dispatches >= 2, "pre-crash dispatches recorded");
+        let gauges = dosscope_obs::registry::gauges_snapshot();
+        assert!(
+            gauges.iter().any(|(k, v)| k == "pool.crashy.dispatches" && *v >= 2),
+            "partial snapshot published on the panic path"
+        );
     }
 
     #[test]

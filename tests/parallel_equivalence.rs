@@ -210,7 +210,10 @@ fn sharded_fusion_matches_serial_on_scenario_events() {
 
 /// The acceptance check: full scenario runs for three seeds, rendered to
 /// the complete reproduction report, must be byte-identical for
-/// threads ∈ {1, 2, 8}.
+/// threads ∈ {1, 2, 8}. (The telemetry half of the guarantee — the
+/// engine counter map is identical across thread counts — lives in
+/// `telemetry_equivalence.rs`, its own test binary: counters are a
+/// process-global registry, so the comparison needs a process to itself.)
 #[test]
 fn reports_are_byte_identical_across_thread_counts() {
     for seed in [0xD05C09Eu64, 0x5EED_0001, 0xBEEF_CAFE] {

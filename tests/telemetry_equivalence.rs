@@ -1,0 +1,46 @@
+//! Telemetry counters are part of the serial-equivalence guarantee: the
+//! engine counters (`telescope.*`, `fleet.*`, `fusion.*`) count domain
+//! facts — batches ingested, flows expired, events emitted — at sites
+//! the serial and sharded paths share byte for byte, so for a fixed seed
+//! the whole counter map must be identical for any thread count.
+//!
+//! This lives in its own test binary on purpose: the counter registry is
+//! process-global, so the comparison needs a process where no concurrent
+//! test is pushing events while collection is enabled. (Pool gauges and
+//! span timings are topology- and wall-clock-dependent by design and are
+//! excluded — only `counters` carries the determinism contract.)
+
+use dosscope_harness::{Scenario, ScenarioConfig};
+
+#[test]
+fn telemetry_counters_are_identical_across_thread_counts() {
+    let _telemetry = dosscope_obs::testing::scoped_enable();
+    let config = ScenarioConfig {
+        scale: 50_000.0,
+        ..ScenarioConfig::default()
+    };
+
+    let run_counters = |threads: usize| -> Vec<(String, u64)> {
+        dosscope_obs::reset();
+        let _world = Scenario::run(&ScenarioConfig {
+            threads,
+            ..config.clone()
+        });
+        dosscope_obs::registry::counters_snapshot()
+    };
+
+    let serial = run_counters(1);
+    for required in ["telescope.events", "telescope.flows_expired", "fleet.events"] {
+        assert!(
+            serial.iter().any(|(n, v)| n == required && *v > 0),
+            "serial run recorded {required}: {serial:?}"
+        );
+    }
+    for threads in [2, 8] {
+        let threaded = run_counters(threads);
+        assert_eq!(
+            threaded, serial,
+            "{threads} threads: counter map differs from serial"
+        );
+    }
+}
