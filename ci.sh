@@ -20,7 +20,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> bench smoke (pipeline --smoke --check BENCH_pipeline.json)"
 # Runs the end-to-end bench at the reduced smoke scale with measurement
 # threads {1, 8} and validates the committed trajectory file:
-#   * structurally well-formed v3 schema, every (stage, threads) pair
+#   * structurally well-formed v4 schema, every (stage, threads) pair
 #     present, nonzero peak working set on the threaded detection lanes;
 #   * no measured current-vs-baseline speedup regressed to less than half
 #     the committed value;
@@ -32,7 +32,12 @@ echo "==> bench smoke (pipeline --smoke --check BENCH_pipeline.json)"
 #     bound (what the wall becomes once the cores exist) elsewhere;
 #   * on full-scale regenerations only (walls are not comparable across
 #     scales), the disabled-telemetry serial measurement stays within 2%
-#     of the committed trajectory.
+#     of the committed trajectory;
+#   * the committed store scale sweep proves the paper-scale x20 run
+#     (a scale=20 lane with >= 20M events, nonzero fusion+report
+#     throughput and a recorded peak working set), and the fresh smoke
+#     run completes its own scale=5 sweep lane (fusion+report lane
+#     present, peak memory recorded).
 # Speedups are in-run ratios, so every gate is machine-independent.
 smoke_out="$(mktemp)"
 telemetry_out="$(mktemp)"

@@ -5,9 +5,9 @@
 //! through the pre-overhaul replicas ([`dosscope_bench::baseline`]) in the
 //! same process, plus a telemetry lane that re-times the serial
 //! measurement with `dosscope-obs` collection off and on (interleaved, so
-//! ambient noise lands on both alike). Writes the machine-readable
-//! trajectory to `BENCH_pipeline.json` (schema
-//! `dosscope-bench-pipeline-v3`).
+//! ambient noise lands on both alike), plus a columnar-store scale sweep
+//! (see below). Writes the machine-readable trajectory to
+//! `BENCH_pipeline.json` (schema `dosscope-bench-pipeline-v4`).
 //!
 //! Usage:
 //!
@@ -15,6 +15,21 @@
 //! pipeline [--smoke] [--scale F] [--days N] [--out PATH] [--check PATH]
 //!          [--telemetry]
 //! ```
+//!
+//! ## The store scale sweep
+//!
+//! The detector stages produce tens of thousands of events at bench
+//! scale, but the columnar [`EventStore`] is sized for the paper's
+//! millions — and 20x beyond. The sweep lane replicates the serial
+//! detectors' events with deterministic perturbations (each replica
+//! shifts every start by 31 s and every target by one address, so
+//! victims, /24s and timestamps all stay diverse) up to scale ∈
+//! {1, 5, 20} × ~1.045 M events (full runs; smoke sweeps {1, 5} ×
+//! 25 k), then times a single-batch ingest, the fusion aggregates
+//! (combined summary + common targets) and the Table 1–3 report
+//! assembly over the resulting store, recording the store's peak working
+//! set via its own byte accounting. Scale 20 is the paper-scale × 20
+//! claim: ≈ 20.9 M events fused and reported in one in-memory store.
 //!
 //! `--smoke` runs the reduced test scale and times the measurement stages
 //! at threads {1, 8} only (for CI). `--telemetry` (or
@@ -25,9 +40,11 @@
 //! freshly-measured speedups against a committed `BENCH_pipeline.json`
 //! and exits non-zero when the file is malformed, any in-run speedup
 //! regressed to less than half the committed value, the committed
-//! parallel speedup is below the 4x floor, or the fresh threads=8 wall
+//! parallel speedup is below the 4x floor, the fresh threads=8 wall
 //! time regressed past threads=1 by more than the dispatch-overhead
-//! budget (speedups are in-run ratios, so every gate is
+//! budget, the committed sweep lacks a scale=20 lane with ≥ 20 M events
+//! and a finite peak working set, or the fresh sweep lacks its largest
+//! scheduled lane (speedups are in-run ratios, so every gate is
 //! machine-independent). On a full-scale run whose scale/days match the
 //! committed file, `--check` also gates the disabled-telemetry serial
 //! measurement wall at [`DISABLED_TELEMETRY_BUDGET`] of the committed
@@ -110,6 +127,23 @@ const WALL_GATE_CPUS: usize = 8;
 /// committed file (wall times are not comparable across scales).
 const DISABLED_TELEMETRY_BUDGET: f64 = 1.02;
 
+/// Store scale-sweep multipliers for full runs. Scale 20 is the headline
+/// claim: 20x the paper's event population in one in-memory store.
+const SWEEP_SCALES: [u64; 3] = [1, 5, 20];
+
+/// Sweep multipliers for `--smoke` (CI gates the scale=5 lane).
+const SWEEP_SCALES_SMOKE: [u64; 2] = [1, 5];
+
+/// Events per sweep unit on full runs: the paper's combined event
+/// population (≈ 1.045 M), so scale 20 lands at ≈ 20.9 M events.
+const SWEEP_UNIT_EVENTS: u64 = 1_045_000;
+
+/// Events per sweep unit at smoke scale.
+const SWEEP_UNIT_EVENTS_SMOKE: u64 = 25_000;
+
+/// Committed-file floor for the scale=20 sweep lane's event count.
+const SWEEP_FULL_FLOOR: u64 = 20_000_000;
+
 struct Stage {
     name: &'static str,
     threads: usize,
@@ -146,6 +180,49 @@ impl ParallelLane {
     fn pipelined_secs(&self) -> f64 {
         self.route_secs.max(self.max_shard_secs)
     }
+}
+
+/// One store scale-sweep lane: a replicated event population pushed
+/// through ingest, fusion and report over a single columnar store.
+struct SweepLane {
+    scale: u64,
+    events: u64,
+    ingest_secs: f64,
+    fusion_secs: f64,
+    report_secs: f64,
+    /// The store's own byte accounting after ingest: interner + columns
+    /// + indexes + aggregate bitsets.
+    peak_bytes: u64,
+}
+
+impl SweepLane {
+    /// Fusion + report throughput (events per second through the
+    /// columnar scans, the number the 20x claim is about).
+    fn fusion_report_events_per_sec(&self) -> f64 {
+        ratio(self.events as f64, self.fusion_secs + self.report_secs)
+    }
+}
+
+/// Replicate a detector event set `factor` times with deterministic
+/// per-replica perturbations: replica k shifts every window by `k * 31`
+/// seconds and every target by `k` addresses, so the blow-up scales the
+/// victim, block and timestamp populations instead of piling duplicates
+/// onto one key.
+fn replicate(events: &[dosscope_types::AttackEvent], factor: u64) -> Vec<dosscope_types::AttackEvent> {
+    let mut out = Vec::with_capacity(events.len() * factor as usize);
+    for k in 0..factor {
+        let shift = k * 31;
+        for e in events {
+            let mut e = e.clone();
+            e.target = std::net::Ipv4Addr::from(u32::from(e.target).wrapping_add(k as u32));
+            e.when = dosscope_types::TimeRange::new(
+                SimTime(e.when.start.0 + shift),
+                SimTime(e.when.end.0 + shift),
+            );
+            out.push(e);
+        }
+    }
+    out
 }
 
 struct Options {
@@ -529,11 +606,64 @@ fn main() {
     let speedup_fleet = ratio(base_fleet_secs, fleet1_secs);
     let speedup_measurement = ratio(base_tele_secs + base_fleet_secs, tele1_secs + fleet1_secs);
 
+    // ---- Store scale sweep ----------------------------------------------
+    // Free the packet-level data first: the sweep is about the event
+    // store's working set, not the renderer's.
+    drop(tele_chunks);
+    drop(hp_chunks);
+    drop(days_data);
+    let (sweep_scales, unit): (&[u64], u64) = if opts.smoke {
+        (&SWEEP_SCALES_SMOKE, SWEEP_UNIT_EVENTS_SMOKE)
+    } else {
+        (&SWEEP_SCALES, SWEEP_UNIT_EVENTS)
+    };
+    let base_total = (serial_tele.len() + serial_hp.len()) as u64;
+    let mut sweep: Vec<SweepLane> = Vec::new();
+    for &m in sweep_scales {
+        let factor = (m * unit).div_ceil(base_total).max(1);
+        let tele_rep = replicate(&serial_tele, factor);
+        let hp_rep = replicate(&serial_hp, factor);
+
+        let t0 = Instant::now();
+        let mut store = EventStore::new();
+        store.ingest_telescope(tele_rep);
+        store.ingest_honeypot(hp_rep);
+        let ingest_secs = t0.elapsed().as_secs_f64();
+        let peak_bytes = store.memory_bytes() as u64;
+
+        let t0 = Instant::now();
+        let combined = store.summary_combined();
+        let common = store.common_targets();
+        let fusion_secs = t0.elapsed().as_secs_f64();
+        assert_eq!(combined.events, base_total * factor, "sweep lost events");
+        assert!(common > 0 || serial_hp.is_empty(), "sweep degenerated");
+
+        let t0 = Instant::now();
+        let fw = Framework::new(&store, &geo, &asdb, opts.days)
+            .with_dns(&synth.zone, &synth.catalog)
+            .with_dps(&dps);
+        let t1 = Table1::build(&fw);
+        let t2 = Table2::build(&fw);
+        let t3 = Table3::build(&fw);
+        let report_secs = t0.elapsed().as_secs_f64();
+        assert_eq!(t1.rows[2].summary.events, combined.events);
+        let _ = (t2, t3);
+
+        sweep.push(SweepLane {
+            scale: m,
+            events: combined.events,
+            ingest_secs,
+            fusion_secs,
+            report_secs,
+            peak_bytes,
+        });
+    }
+
     // ---- Emit JSON ------------------------------------------------------
     let cpus = std::thread::available_parallelism().map_or(0, |n| n.get());
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": \"dosscope-bench-pipeline-v3\",");
+    let _ = writeln!(json, "  \"schema\": \"dosscope-bench-pipeline-v4\",");
     let _ = writeln!(json, "  \"scale\": {},", opts.scale);
     let _ = writeln!(json, "  \"days\": {},", opts.days);
     let _ = writeln!(json, "  \"smoke\": {},", opts.smoke);
@@ -613,6 +743,17 @@ fn main() {
         "  \"parallel_wall_speedup\": {{{}}},",
         wall_fields.join(", ")
     );
+    json.push_str("  \"sweep\": [\n");
+    for (i, l) in sweep.iter().enumerate() {
+        let sep = if i + 1 == sweep.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"scale\": {}, \"events\": {}, \"ingest_secs\": {:.6}, \"fusion_secs\": {:.6}, \"report_secs\": {:.6}, \"fusion_report_events_per_sec\": {:.1}, \"peak_bytes\": {}}}{}",
+            l.scale, l.events, l.ingest_secs, l.fusion_secs, l.report_secs,
+            l.fusion_report_events_per_sec(), l.peak_bytes, sep
+        );
+    }
+    json.push_str("  ],\n");
     let _ = writeln!(
         json,
         "  \"events\": {{\"telescope\": {}, \"honeypot\": {}}}",
@@ -657,6 +798,18 @@ fn main() {
             lane.route_secs,
             lane.max_shard_secs,
             ratio(fleet1_secs, lane.pipelined_secs())
+        );
+    }
+    for l in &sweep {
+        println!(
+            "  sweep scale={:<2}: {:>9} events  ingest {:.3}s  fusion {:.3}s  report {:.3}s  ({:.0} events/s fused+reported, {:.1} MiB store)",
+            l.scale,
+            l.events,
+            l.ingest_secs,
+            l.fusion_secs,
+            l.report_secs,
+            l.fusion_report_events_per_sec(),
+            l.peak_bytes as f64 / (1024.0 * 1024.0)
         );
     }
 
@@ -752,6 +905,34 @@ fn main() {
                     "disabled-telemetry serial measurement regressed past the committed trajectory: {telem_off_secs:.3}s vs {committed_meas:.3}s (budget {DISABLED_TELEMETRY_BUDGET}x)"
                 ));
             }
+        }
+        // The committed trajectory must prove the paper-scale × 20 run:
+        // a scale=20 sweep lane with ≥ 20 M events fused and reported
+        // in-memory, with real throughput and working-set numbers.
+        match c.sweep20 {
+            None => fail("committed sweep lacks a scale=20 lane"),
+            Some((events, throughput, peak_bytes)) => {
+                if (events as u64) < SWEEP_FULL_FLOOR {
+                    fail(&format!(
+                        "committed scale=20 sweep lane has only {events:.0} events (< {SWEEP_FULL_FLOOR})"
+                    ));
+                }
+                if throughput <= 0.0 || peak_bytes <= 0.0 {
+                    fail("committed scale=20 sweep lane has zero throughput or peak");
+                }
+            }
+        }
+        // And the fresh run must have completed its own largest sweep
+        // lane (scale=5 at smoke — the CI gate — scale=20 on full runs).
+        let top = *sweep_scales.last().expect("sweep scales nonempty");
+        let Some(lane) = sweep.iter().find(|l| l.scale == top) else {
+            fail(&format!("fresh sweep lacks the scale={top} lane"));
+        };
+        if lane.events < top * unit || lane.peak_bytes == 0 {
+            fail(&format!(
+                "fresh scale={top} sweep lane is degenerate: {} events, {} peak bytes",
+                lane.events, lane.peak_bytes
+            ));
         }
         println!("  check against {path}: ok");
     }
@@ -933,19 +1114,22 @@ struct Committed {
     /// Committed serial measurement walls (threads=1 telescope / fleet).
     tele1_wall: f64,
     fleet1_wall: f64,
+    /// The committed scale=20 sweep lane, when present:
+    /// (events, fusion+report events/s, peak bytes).
+    sweep20: Option<(f64, f64, f64)>,
 }
 
 /// Minimal structural validation + value extraction for the writer's own
 /// one-stage-per-line format. Not a general JSON parser on purpose: the
 /// file is produced by this binary, and a format drift should fail loudly.
-/// Accepts the previous v2 schema too (identical except it lacks the
-/// telemetry record) so a regeneration can check against a pre-telemetry
-/// trajectory.
+/// v4 added the store scale sweep the checker gates on, so older
+/// trajectories must be regenerated rather than silently accepted.
 fn parse_committed(text: &str) -> Result<Committed, String> {
-    if !text.contains("\"schema\": \"dosscope-bench-pipeline-v3\"")
-        && !text.contains("\"schema\": \"dosscope-bench-pipeline-v2\"")
-    {
-        return Err("missing or unknown schema marker".to_string());
+    if !text.contains("\"schema\": \"dosscope-bench-pipeline-v4\"") {
+        return Err(
+            "missing or unknown schema marker (expected dosscope-bench-pipeline-v4; regenerate with a full run)"
+                .to_string(),
+        );
     }
     // Every (stage, threads) pair must be present with a finite wall time.
     // The committed file is always a full (non-smoke) run over all of
@@ -1023,6 +1207,21 @@ fn parse_committed(text: &str) -> Result<Committed, String> {
             })
             .ok_or_else(|| format!("missing {key} field"))
     };
+    // Sweep lanes are one object per line; pick out scale=20 when the
+    // committed run swept that far (full runs always do).
+    let sweep20 = text
+        .lines()
+        .filter(|l| l.contains("\"peak_bytes\""))
+        .find(|l| extract_num(l, "scale") == Some(20.0))
+        .map(|l| {
+            Ok::<_, String>((
+                extract_num(l, "events").ok_or("sweep lane lacks events")?,
+                extract_num(l, "fusion_report_events_per_sec")
+                    .ok_or("sweep lane lacks throughput")?,
+                extract_num(l, "peak_bytes").ok_or("sweep lane lacks peak_bytes")?,
+            ))
+        })
+        .transpose()?;
     Ok(Committed {
         speedup_tele: get("telescope")?,
         speedup_fleet: get("fleet")?,
@@ -1033,6 +1232,7 @@ fn parse_committed(text: &str) -> Result<Committed, String> {
         days: header("days")?,
         tele1_wall,
         fleet1_wall,
+        sweep20,
     })
 }
 

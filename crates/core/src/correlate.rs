@@ -7,12 +7,10 @@
 //! SYN flood combined with an NTP reflection attack).
 
 use crate::enrich::Enricher;
-use crate::store::EventStore;
+use crate::store::{EventStore, KIND_REFLECTION};
 use dosscope_types::{
-    Asn, AttackEvent, CountryCode, PortSignature, ReflectionProtocol, TransportProto,
+    Asn, CountryCode, EventSource, FastMap, FastSet, Interner, ReflectionProtocol, TransportProto,
 };
-use std::collections::{HashMap, HashSet};
-use std::net::Ipv4Addr;
 
 /// The correlation results.
 #[derive(Debug, Clone)]
@@ -46,111 +44,134 @@ pub struct JointAnalysis;
 
 impl JointAnalysis {
     /// Run the correlation over an event store.
+    ///
+    /// The whole pass is columnar: honeypot rows are bucketed by
+    /// interned victim id (a `u32` key — the shared interner makes
+    /// telescope and honeypot ids directly comparable), the telescope
+    /// sweep walks the raw start/end columns, and the joint event sets
+    /// are row-id sets — no event struct is ever materialized.
     pub fn run(store: &EventStore, enricher: &Enricher<'_>) -> JointStats {
-        // Index honeypot events per target for the sweep.
-        let mut hp_by_target: HashMap<Ipv4Addr, Vec<&AttackEvent>> = HashMap::new();
-        for e in store.honeypot() {
-            hp_by_target.entry(e.target).or_default().push(e);
+        let tele = store.block(EventSource::Telescope);
+        let hp = store.block(EventSource::Honeypot);
+
+        // Honeypot postings per interned victim id.
+        let mut hp_rows: FastMap<u32, Vec<u32>> = FastMap::default();
+        for (row, &vid) in hp.victim.iter().enumerate() {
+            hp_rows.entry(vid).or_default().push(row as u32);
         }
 
-        let mut common: HashSet<Ipv4Addr> = HashSet::new();
-        let mut joint_targets: HashSet<Ipv4Addr> = HashSet::new();
+        let mut common: FastSet<u32> = FastSet::default();
+        let mut joint_targets: FastSet<u32> = FastSet::default();
         let mut joint_pairs = 0u64;
-        // Joint telescope events, deduplicated (one event can overlap
-        // several reflection events).
-        let mut joint_tele: Vec<&AttackEvent> = Vec::new();
-        let mut joint_tele_seen: HashSet<usize> = HashSet::new();
-        let mut joint_hp: Vec<&AttackEvent> = Vec::new();
-        let mut joint_hp_seen: HashSet<usize> = HashSet::new();
+        // Joint events, deduplicated by row id (one event can overlap
+        // several events of the other source).
+        let mut joint_tele_rows: Vec<u32> = Vec::new();
+        let mut joint_hp_rows: Vec<u32> = Vec::new();
+        let mut joint_hp_seen: FastSet<u32> = FastSet::default();
 
-        for (ti, te) in store.telescope().iter().enumerate() {
-            let Some(hps) = hp_by_target.get(&te.target) else {
+        for ti in 0..tele.len() {
+            let vid = tele.victim[ti];
+            let Some(rows) = hp_rows.get(&vid) else {
                 continue;
             };
-            common.insert(te.target);
-            for he in hps {
-                if te.when.overlaps(&he.when) {
+            common.insert(vid);
+            let (ts, te) = (tele.start[ti], tele.end[ti]);
+            let mut tele_is_joint = false;
+            for &hi in rows {
+                let hi = hi as usize;
+                // Half-open interval overlap on the raw time columns.
+                if ts < hp.end[hi] && hp.start[hi] < te {
                     joint_pairs += 1;
-                    joint_targets.insert(te.target);
-                    if joint_tele_seen.insert(ti) {
-                        joint_tele.push(te);
-                    }
-                    // Identity of the honeypot event via its address.
-                    let key = *he as *const AttackEvent as usize;
-                    if joint_hp_seen.insert(key) {
-                        joint_hp.push(he);
+                    joint_targets.insert(vid);
+                    tele_is_joint = true;
+                    if joint_hp_seen.insert(hi as u32) {
+                        joint_hp_rows.push(hi as u32);
                     }
                 }
             }
+            if tele_is_joint {
+                joint_tele_rows.push(ti as u32);
+            }
         }
 
-        // Port-structure shifts among joint telescope events.
+        // Port-structure shifts among joint telescope events, read off
+        // the flattened (kind, aux) columns: kind / 3 is the transport,
+        // kind % 3 the signature class (0 single, 1 multi, 2 none).
         let mut single = 0u64;
         let mut tcp_single = 0u64;
         let mut tcp_http = 0u64;
         let mut udp_single = 0u64;
         let mut udp_steam = 0u64;
-        let mut with_ports = 0u64;
-        for e in &joint_tele {
-            let Some(ports) = e.port_signature() else {
-                continue;
-            };
-            with_ports += 1;
-            if ports.is_single() {
+        let with_ports = joint_tele_rows.len() as u64;
+        for &ti in &joint_tele_rows {
+            let ti = ti as usize;
+            let (kind, class) = (tele.kind[ti] / 3, tele.kind[ti] % 3);
+            if class != 1 {
                 single += 1;
             }
-            match (e.transport_proto(), ports) {
-                (Some(TransportProto::Tcp), PortSignature::Single(p)) => {
+            if class == 0 {
+                let port = tele.aux[ti];
+                if kind as usize == TransportProto::Tcp.index() {
                     tcp_single += 1;
-                    if p == 80 {
+                    if port == 80 {
                         tcp_http += 1;
                     }
-                }
-                (Some(TransportProto::Udp), PortSignature::Single(p)) => {
+                } else if kind as usize == TransportProto::Udp.index() {
                     udp_single += 1;
-                    if p == 27015 {
+                    if port == 27015 {
                         udp_steam += 1;
                     }
                 }
-                _ => {}
             }
         }
         let share = |num: u64, den: u64| if den == 0 { 0.0 } else { num as f64 / den as f64 };
 
-        // Reflection-protocol shift among joint honeypot events.
-        let mut proto_counts: HashMap<ReflectionProtocol, u64> = HashMap::new();
-        for e in &joint_hp {
-            if let Some(p) = e.reflection_protocol() {
-                *proto_counts.entry(p).or_default() += 1;
-            }
+        // Reflection-protocol shift among joint honeypot events: the
+        // kind code *is* the protocol, so a fixed-size count array does.
+        let mut proto_counts = [0u64; ReflectionProtocol::ALL.len()];
+        for &hi in &joint_hp_rows {
+            proto_counts[(hp.kind[hi as usize] - KIND_REFLECTION) as usize] += 1;
         }
-        let hp_total: u64 = proto_counts.values().sum();
+        let hp_total: u64 = proto_counts.iter().sum();
         let mut reflection_shares: Vec<(ReflectionProtocol, f64)> = ReflectionProtocol::ALL
             .iter()
-            .map(|&p| (p, share(proto_counts.get(&p).copied().unwrap_or(0), hp_total)))
+            .map(|&p| (p, share(proto_counts[p as usize], hp_total)))
             .collect();
         reflection_shares
             .sort_by(|a, b| b.1.partial_cmp(&a.1).expect("shares are finite"));
 
-        // Joint-target metadata shares.
-        let mut asn_counts: HashMap<Asn, u64> = HashMap::new();
-        let mut country_counts: HashMap<CountryCode, u64> = HashMap::new();
-        for &target in &joint_targets {
-            let (country, asn) = enricher.lookup(target);
-            *country_counts.entry(country).or_default() += 1;
+        // Joint-target metadata shares: countries and ASNs are interned
+        // to dense ids so the tally is a pair of count vectors.
+        let mut asns: Interner<Asn> = Interner::new();
+        let mut asn_counts: Vec<u64> = Vec::new();
+        let mut countries: Interner<CountryCode> = Interner::new();
+        let mut country_counts: Vec<u64> = Vec::new();
+        for &vid in &joint_targets {
+            let (country, asn) = enricher.lookup(store.victim_ids().resolve(vid));
+            let cid = countries.intern(country) as usize;
+            if cid == country_counts.len() {
+                country_counts.push(0);
+            }
+            country_counts[cid] += 1;
             if let Some(a) = asn {
-                *asn_counts.entry(a).or_default() += 1;
+                let aid = asns.intern(a) as usize;
+                if aid == asn_counts.len() {
+                    asn_counts.push(0);
+                }
+                asn_counts[aid] += 1;
             }
         }
         let n_joint = joint_targets.len() as u64;
         let mut top_asns: Vec<(Asn, f64)> = asn_counts
-            .into_iter()
-            .map(|(a, c)| (a, share(c, n_joint)))
+            .iter()
+            .enumerate()
+            .map(|(id, &c)| (asns.resolve(id as u32), share(c, n_joint)))
             .collect();
         top_asns.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
         let mut top_countries: Vec<(CountryCode, f64)> = country_counts
-            .into_iter()
-            .map(|(c, n)| (c, share(n, n_joint)))
+            .iter()
+            .enumerate()
+            .map(|(id, &c)| (countries.resolve(id as u32), share(c, n_joint)))
             .collect();
         top_countries.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
 
@@ -172,7 +193,7 @@ impl JointAnalysis {
 mod tests {
     use super::*;
     use dosscope_geo::{AsDb, GeoDb};
-    use dosscope_types::{AttackVector, SimTime, TimeRange};
+    use dosscope_types::{AttackEvent, AttackVector, PortSignature, SimTime, TimeRange};
 
     fn tele(ip: &str, start: u64, end: u64, port: u16) -> AttackEvent {
         AttackEvent {

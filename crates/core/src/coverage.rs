@@ -49,11 +49,11 @@ impl CoverageStats {
         for e in botnet {
             targets.insert(e.target);
             *families.entry(e.family).or_default() += 1;
+            // The store's per-victim history scans only the victim-id
+            // column, so this no longer decodes every event per probe.
             let overlaps_primary = store
-                .telescope()
+                .history(e.target)
                 .iter()
-                .chain(store.honeypot())
-                .filter(|p| p.target == e.target)
                 .any(|p| p.when.overlaps(&e.when));
             if overlaps_primary {
                 multivector += 1;

@@ -53,7 +53,7 @@ pub use correlate::{JointAnalysis, JointStats};
 pub use enrich::{EnrichedEvent, Enricher};
 pub use sharded::{route_events, ShardedEventStore, ShardedFusion};
 pub use streaming::{FusionState, StreamingFusion, StreamingSnapshot};
-pub use store::{EventStore, SourceSummary};
+pub use store::{EventStore, EventsIter, EventsView, SourceSummary};
 
 use dosscope_dns::{OrgCatalog, ZoneStore};
 use dosscope_dps::DpsDataset;

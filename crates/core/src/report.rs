@@ -8,8 +8,7 @@ use crate::webimpact::WebImpact;
 use crate::Framework;
 use dosscope_dns::Tld;
 use dosscope_types::{
-    AttackEvent, CountryCode, Ecdf, EventSource, FrozenEcdf, PortSignature, ReflectionProtocol,
-    TransportProto,
+    CountryCode, Ecdf, EventSource, FrozenEcdf, ReflectionProtocol, TransportProto,
 };
 use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
@@ -49,10 +48,14 @@ impl Table1 {
     /// Build from a framework.
     pub fn build(fw: &Framework<'_>) -> Table1 {
         let enricher = Enricher::new(fw.geo, fw.asdb);
-        let asn_count = |events: &mut dyn Iterator<Item = &AttackEvent>| {
+        // The summaries are O(1) reads of the store's ingest-time
+        // aggregates, and the ASN counts walk each *distinct* victim
+        // once (the store's victim bitset) instead of every event row —
+        // the distinct-ASN set over distinct targets is the same set.
+        let asn_count = |targets: &mut dyn Iterator<Item = std::net::Ipv4Addr>| {
             let mut set = HashSet::new();
-            for e in events {
-                if let (_, Some(asn)) = enricher.lookup(e.target) {
+            for target in targets {
+                if let (_, Some(asn)) = enricher.lookup(target) {
                     set.insert(asn);
                 }
             }
@@ -61,17 +64,17 @@ impl Table1 {
         let t = Table1Row {
             source: "Network Telescope".into(),
             summary: fw.store.summary(EventSource::Telescope),
-            asns: asn_count(&mut fw.store.telescope().iter()),
+            asns: asn_count(&mut fw.store.distinct_targets(EventSource::Telescope)),
         };
         let h = Table1Row {
             source: "Amplification Honeypot".into(),
             summary: fw.store.summary(EventSource::Honeypot),
-            asns: asn_count(&mut fw.store.honeypot().iter()),
+            asns: asn_count(&mut fw.store.distinct_targets(EventSource::Honeypot)),
         };
         let c = Table1Row {
             source: "Combined".into(),
             summary: fw.store.summary_combined(),
-            asns: asn_count(&mut fw.store.all()),
+            asns: asn_count(&mut fw.store.distinct_targets_combined()),
         };
         Table1 { rows: [t, h, c] }
     }
@@ -202,14 +205,13 @@ impl Table4 {
     /// Build from a framework (top-5 + Other, like the paper).
     pub fn build(fw: &Framework<'_>) -> Table4 {
         let enricher = Enricher::new(fw.geo, fw.asdb);
-        let panel = |events: &[AttackEvent]| -> PanelRows {
-            let mut targets: HashSet<std::net::Ipv4Addr> = HashSet::new();
+        // Countries are counted over the store's distinct-victim bitset:
+        // one enrichment lookup per unique target, no per-event dedup.
+        let panel = |targets: &mut dyn Iterator<Item = std::net::Ipv4Addr>| -> PanelRows {
             let mut counts: HashMap<CountryCode, u64> = HashMap::new();
-            for e in events {
-                if targets.insert(e.target) {
-                    let (cc, _) = enricher.lookup(e.target);
-                    *counts.entry(cc).or_default() += 1;
-                }
+            for target in targets {
+                let (cc, _) = enricher.lookup(target);
+                *counts.entry(cc).or_default() += 1;
             }
             let total: u64 = counts.values().sum();
             let mut full: Vec<(CountryCode, u64)> = counts.into_iter().collect();
@@ -227,8 +229,10 @@ impl Table4 {
             ));
             (rows, full)
         };
-        let (telescope, telescope_full) = panel(fw.store.telescope());
-        let (honeypot, honeypot_full) = panel(fw.store.honeypot());
+        let (telescope, telescope_full) =
+            panel(&mut fw.store.distinct_targets(EventSource::Telescope));
+        let (honeypot, honeypot_full) =
+            panel(&mut fw.store.distinct_targets(EventSource::Honeypot));
         Table4 {
             telescope,
             honeypot,
@@ -266,15 +270,13 @@ pub struct Table5 {
 }
 
 impl Table5 {
-    /// Build over telescope events.
+    /// Build over telescope events — pure posting-list arithmetic on the
+    /// kind index: the transport is `kind / 3`, so each protocol's count
+    /// is the sum of its three signature-class runs.
     pub fn build(fw: &Framework<'_>) -> Table5 {
-        let mut counts = [0u64; 4];
-        for e in fw.store.telescope() {
-            if let Some(p) = e.transport_proto() {
-                let i = TransportProto::ALL.iter().position(|x| *x == p).expect("ALL");
-                counts[i] += 1;
-            }
-        }
+        let idx = fw.store.kind_index(EventSource::Telescope);
+        let counts: [u64; 4] =
+            core::array::from_fn(|p| (0..3).map(|class| idx.count((p * 3 + class) as u8)).sum());
         let total: u64 = counts.iter().sum();
         let shares =
             core::array::from_fn(|i| 100.0 * counts[i] as f64 / total.max(1) as f64);
@@ -301,12 +303,15 @@ pub struct Table6 {
 }
 
 impl Table6 {
-    /// Build over honeypot events.
+    /// Build over honeypot events — the reflection protocol *is* the
+    /// kind code, so every count is one posting-list length.
     pub fn build(fw: &Framework<'_>) -> Table6 {
+        let idx = fw.store.kind_index(EventSource::Honeypot);
         let mut counts: HashMap<ReflectionProtocol, u64> = HashMap::new();
-        for e in fw.store.honeypot() {
-            if let Some(p) = e.reflection_protocol() {
-                *counts.entry(p).or_default() += 1;
+        for p in ReflectionProtocol::ALL {
+            let n = idx.count(crate::store::KIND_REFLECTION + p as u8);
+            if n > 0 {
+                counts.insert(p, n);
             }
         }
         let total: u64 = counts.values().sum();
@@ -349,18 +354,17 @@ pub struct Table7 {
 }
 
 impl Table7 {
-    /// Build over telescope events.
+    /// Build over telescope events: signature-class run lengths summed
+    /// across transports (class 0 = single port, 2 = no port info — both
+    /// count as single, like [`PortSignature::is_single`]).
     pub fn build(fw: &Framework<'_>) -> Table7 {
-        let mut single = 0;
-        let mut multi = 0;
-        for e in fw.store.telescope() {
-            match e.port_signature() {
-                Some(sig) if sig.is_single() => single += 1,
-                Some(_) => multi += 1,
-                None => {}
-            }
+        let idx = fw.store.kind_index(EventSource::Telescope);
+        let class_total =
+            |class: usize| (0..4).map(|p| idx.count((p * 3 + class) as u8)).sum::<u64>();
+        Table7 {
+            single: class_total(0) + class_total(2),
+            multi: class_total(1),
         }
-        Table7 { single, multi }
     }
 
     /// Single-port share (60.6 % in the paper).
@@ -395,17 +399,15 @@ pub struct Table8 {
 }
 
 impl Table8 {
-    /// Build over single-port telescope events.
+    /// Build over single-port telescope events: the single-port run of
+    /// each transport drives a gather over the `aux` (port) column.
     pub fn build(fw: &Framework<'_>) -> Table8 {
+        let idx = fw.store.kind_index(EventSource::Telescope);
+        let block = fw.store.block(EventSource::Telescope);
         let panel = |proto: TransportProto| -> Vec<(String, u64, f64)> {
             let mut counts: HashMap<u16, u64> = HashMap::new();
-            for e in fw.store.telescope() {
-                if e.transport_proto() != Some(proto) {
-                    continue;
-                }
-                if let Some(PortSignature::Single(p)) = e.port_signature() {
-                    *counts.entry(p).or_default() += 1;
-                }
+            for &row in idx.rows((proto.index() * 3) as u8) {
+                *counts.entry(block.aux[row as usize] as u16).or_default() += 1;
             }
             let total: u64 = counts.values().sum();
             let mut sorted: Vec<(u16, u64)> = counts.into_iter().collect();
@@ -468,13 +470,15 @@ pub struct DistributionFigure {
 }
 
 impl DistributionFigure {
-    /// Duration distribution of one source (Figure 2 panel).
+    /// Duration distribution of one source (Figure 2 panel) — a fused
+    /// sequential scan of the start and end time columns.
     pub fn durations(fw: &Framework<'_>, source: EventSource) -> DistributionFigure {
-        let ecdf: Ecdf = fw
-            .store
-            .of(source)
+        let block = fw.store.block(source);
+        let ecdf: Ecdf = block
+            .start
             .iter()
-            .map(|e| e.duration_secs() as f64)
+            .zip(&block.end)
+            .map(|(&s, &e)| (e - s) as f64)
             .collect();
         DistributionFigure {
             label: format!("Figure 2 ({source}) attack duration CDF"),
@@ -482,33 +486,31 @@ impl DistributionFigure {
         }
     }
 
-    /// Intensity distribution of one source (Figures 3 and 4-overall).
+    /// Intensity distribution of one source (Figures 3 and 4-overall) —
+    /// the intensity column verbatim.
     pub fn intensities(fw: &Framework<'_>, source: EventSource) -> DistributionFigure {
-        let ecdf: Ecdf = fw
-            .store
-            .of(source)
-            .iter()
-            .map(|e| e.intensity_pps)
-            .collect();
+        let ecdf: Ecdf = fw.store.block(source).intensity.iter().copied().collect();
         DistributionFigure {
             label: format!("intensity CDF ({source})"),
             ecdf: ecdf.freeze(),
         }
     }
 
-    /// Per-protocol honeypot intensity distributions (Figure 4 curves).
+    /// Per-protocol honeypot intensity distributions (Figure 4 curves):
+    /// each curve gathers the intensity column along one protocol's
+    /// posting list instead of re-filtering every honeypot event.
     pub fn intensities_per_protocol(
         fw: &Framework<'_>,
     ) -> Vec<(ReflectionProtocol, FrozenEcdf)> {
+        let idx = fw.store.kind_index(EventSource::Honeypot);
+        let block = fw.store.block(EventSource::Honeypot);
         ReflectionProtocol::TOP5
             .iter()
             .map(|&p| {
-                let ecdf: Ecdf = fw
-                    .store
-                    .honeypot()
+                let ecdf: Ecdf = idx
+                    .rows(crate::store::KIND_REFLECTION + p as u8)
                     .iter()
-                    .filter(|e| e.reflection_protocol() == Some(p))
-                    .map(|e| e.intensity_pps)
+                    .map(|&row| block.intensity[row as usize])
                     .collect();
                 (p, ecdf.freeze())
             })
@@ -623,7 +625,7 @@ mod tests {
     use super::*;
     use crate::EventStore;
     use dosscope_geo::{AsDb, GeoDb};
-    use dosscope_types::{Asn, AttackVector, SimTime, TimeRange};
+    use dosscope_types::{Asn, AttackEvent, AttackVector, PortSignature, SimTime, TimeRange};
 
     fn tele(ip: &str, proto: TransportProto, ports: PortSignature, pps: f64) -> AttackEvent {
         AttackEvent {

@@ -64,12 +64,12 @@ impl ShardedEventStore {
             QUEUE_DEPTH,
             |_| EventStore::new(),
             |store: &mut EventStore, shard, _shards, job: &(EventSource, Routed<AttackEvent>)| {
+                // Zero-copy handoff: the worker encodes its shard's rows
+                // straight from the routed chunk's borrowed events into
+                // the shard store's columns — no event is ever cloned
+                // (pinned by the `clone_audit` test).
                 let (source, routed) = job;
-                let events: Vec<AttackEvent> = routed.owned(shard).cloned().collect();
-                match source {
-                    EventSource::Telescope => store.ingest_telescope(events),
-                    EventSource::Honeypot => store.ingest_honeypot(events),
-                }
+                store.ingest_refs(*source, routed.owned(shard));
             },
             |store: EventStore| store,
         );
@@ -142,22 +142,15 @@ impl ShardedEventStore {
     }
 
     /// Collapse into one [`EventStore`] holding every event in the serial
-    /// store's canonical order.
+    /// store's canonical order: a k-way merge over the shards' column
+    /// blocks (each already `(start, target)`-sorted), not a re-ingest of
+    /// cloned event vectors.
     pub fn into_store(mut self) -> EventStore {
         let shards = self
             .pool
             .shutdown()
             .expect("store collapsed twice");
-        let mut tele = Vec::new();
-        let mut hp = Vec::new();
-        for shard in shards {
-            tele.extend(shard.telescope().to_vec());
-            hp.extend(shard.honeypot().to_vec());
-        }
-        let mut store = EventStore::new();
-        store.ingest_telescope(tele);
-        store.ingest_honeypot(hp);
-        store
+        EventStore::merge_shards(&shards)
     }
 }
 

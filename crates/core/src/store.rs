@@ -1,7 +1,244 @@
-//! Event ingestion and the per-source aggregates of Table 1.
+//! Event ingestion and the per-source aggregates of Table 1, on a
+//! columnar struct-of-arrays store.
+//!
+//! # Layout
+//!
+//! Events are *stored* as parallel column vectors, one block per source,
+//! kept sorted by `(start, target)` exactly like the old row store:
+//!
+//! ```text
+//!                    shared Interner<Ipv4Addr> (victim ⇄ u32 id)
+//!                                   ▲        ▲
+//!            telescope block        │        │        honeypot block
+//!   row ──▶  victim  : Vec<u32> ────┘        └──── victim  : Vec<u32>
+//!            start   : Vec<u64>                    start   : Vec<u64>
+//!            end     : Vec<u64>                    end     : Vec<u64>
+//!            kind    : Vec<u8>   ◀─ vector tag ─▶  kind    : Vec<u8>
+//!            aux     : Vec<u32>  ◀─ port/#ports ─▶ aux     : Vec<u32>
+//!            packets : Vec<u64>                    packets : Vec<u64>
+//!            bytes   : Vec<u64>                    bytes   : Vec<u64>
+//!            intensity:Vec<f64>                    intensity:Vec<f64>
+//!            sources : Vec<u32>                    sources : Vec<u32>
+//!            + RunIndex (kind → ascending row ids) per block
+//! ```
+//!
+//! The [`AttackVector`] sum type is flattened into a `(kind, aux)` pair
+//! (see `encode_vector`): a one-byte predicate key that the per-block
+//! [`RunIndex`] turns into posting lists, so "every NTP reflection
+//! event" or "every single-port TCP flood" is a sequential walk of a
+//! small ascending row-id run instead of a match over wide structs.
+//!
+//! Victims are interned to dense `u32` ids in a table *shared by both
+//! sources*, so the distinct-target aggregates are [`BitSet`]s over ids:
+//! Table 1's unique-target counts are popcounts maintained at ingest,
+//! and the telescope ∩ honeypot common-target count (the paper's 282 k)
+//! is a word-wise AND-popcount with no hashing. The /24 and /16 block
+//! counts are bitsets over the raw prefix spaces (2 MiB and 8 KiB).
+//!
+//! # Boundaries
+//!
+//! The public API still speaks [`AttackEvent`]: ingest takes the same
+//! event vectors, and queries hand back [`EventsView`]s that decode rows
+//! on the fly. Ingest is merge-equivalent to the old
+//! `extend + stable sort_by_key(start, target)`: a staged batch is
+//! stably sorted, then either appended (the common case — detector
+//! output arrives in time order) or two-pointer-merged, with existing
+//! rows winning ties so the result is bit-for-bit what the old re-sort
+//! produced.
 
-use dosscope_types::{AttackEvent, EventSource, FastSet, Prefix16, Prefix24};
+use dosscope_types::{
+    AttackEvent, AttackVector, BitSet, EventSource, FastSet, Interner, PortSignature, Prefix16,
+    Prefix24, ReflectionProtocol, RunIndex, SimTime, TimeRange, TransportProto,
+};
+use std::borrow::Borrow;
 use std::net::Ipv4Addr;
+
+/// Number of distinct `(vector kind)` codes: 4 transports × 3 port-signature
+/// classes for telescope floods, plus 8 reflection protocols.
+pub(crate) const KINDS: usize = 12 + ReflectionProtocol::ALL.len();
+
+/// First kind code used by reflection vectors.
+pub(crate) const KIND_REFLECTION: u8 = 12;
+
+/// Flatten an [`AttackVector`] into its `(kind, aux)` column encoding.
+///
+/// Telescope floods: `kind = proto * 3 + class` with class 0 = single
+/// port (`aux` = the port), 1 = multi port (`aux` = distinct-port
+/// count), 2 = no signature (`aux` = 0). Reflection events:
+/// `kind = 12 + protocol`, `aux = 0`.
+pub(crate) fn encode_vector(vector: AttackVector) -> (u8, u32) {
+    match vector {
+        AttackVector::RandomlySpoofed { proto, ports } => {
+            let (class, aux) = match ports {
+                PortSignature::Single(port) => (0, port as u32),
+                PortSignature::Multi(n) => (1, n),
+                PortSignature::None => (2, 0),
+            };
+            ((proto.index() * 3) as u8 + class, aux)
+        }
+        AttackVector::Reflection { protocol } => (KIND_REFLECTION + protocol as u8, 0),
+    }
+}
+
+/// Invert [`encode_vector`].
+pub(crate) fn decode_vector(kind: u8, aux: u32) -> AttackVector {
+    if kind >= KIND_REFLECTION {
+        AttackVector::Reflection {
+            protocol: ReflectionProtocol::ALL[(kind - KIND_REFLECTION) as usize],
+        }
+    } else {
+        AttackVector::RandomlySpoofed {
+            proto: TransportProto::ALL[(kind / 3) as usize],
+            ports: match kind % 3 {
+                0 => PortSignature::Single(aux as u16),
+                1 => PortSignature::Multi(aux),
+                _ => PortSignature::None,
+            },
+        }
+    }
+}
+
+/// One source's parallel column vectors, sorted by `(start, victim)`.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct ColumnBlock {
+    /// Interned victim id per row (resolve via the store's interner).
+    pub(crate) victim: Vec<u32>,
+    /// Event start, raw [`SimTime`] seconds.
+    pub(crate) start: Vec<u64>,
+    /// Event end, raw [`SimTime`] seconds.
+    pub(crate) end: Vec<u64>,
+    /// Flattened vector tag (see [`encode_vector`]).
+    pub(crate) kind: Vec<u8>,
+    /// Vector payload: single port or distinct-port count.
+    pub(crate) aux: Vec<u32>,
+    /// Observed packet total.
+    pub(crate) packets: Vec<u64>,
+    /// Observed byte total.
+    pub(crate) bytes: Vec<u64>,
+    /// Source-native intensity.
+    pub(crate) intensity: Vec<f64>,
+    /// Distinct (spoofed) source count.
+    pub(crate) sources: Vec<u32>,
+}
+
+/// An encoded staging row, sortable by the ingest key.
+#[derive(Debug, Clone, Copy)]
+struct Row {
+    addr: u32,
+    start: u64,
+    end: u64,
+    kind: u8,
+    aux: u32,
+    packets: u64,
+    bytes: u64,
+    intensity: f64,
+    sources: u32,
+}
+
+impl Row {
+    fn encode(e: &AttackEvent) -> Row {
+        let (kind, aux) = encode_vector(e.vector);
+        Row {
+            addr: u32::from(e.target),
+            start: e.when.start.0,
+            end: e.when.end.0,
+            kind,
+            aux,
+            packets: e.packets,
+            bytes: e.bytes,
+            intensity: e.intensity_pps,
+            sources: e.distinct_sources,
+        }
+    }
+}
+
+impl ColumnBlock {
+    pub(crate) fn len(&self) -> usize {
+        self.victim.len()
+    }
+
+    /// Decode row `i` back into the boundary [`AttackEvent`] type.
+    pub(crate) fn event(&self, i: usize, victims: &Interner<Ipv4Addr>) -> AttackEvent {
+        AttackEvent {
+            target: victims.resolve(self.victim[i]),
+            when: TimeRange::new(SimTime(self.start[i]), SimTime(self.end[i])),
+            vector: decode_vector(self.kind[i], self.aux[i]),
+            packets: self.packets[i],
+            bytes: self.bytes[i],
+            intensity_pps: self.intensity[i],
+            distinct_sources: self.sources[i],
+        }
+    }
+
+    fn push(&mut self, row: Row, victim_id: u32) {
+        self.victim.push(victim_id);
+        self.start.push(row.start);
+        self.end.push(row.end);
+        self.kind.push(row.kind);
+        self.aux.push(row.aux);
+        self.packets.push(row.packets);
+        self.bytes.push(row.bytes);
+        self.intensity.push(row.intensity);
+        self.sources.push(row.sources);
+    }
+
+    /// Copy row `i` of `other` onto the end of `self`.
+    pub(crate) fn push_from(&mut self, other: &ColumnBlock, i: usize, victim_id: u32) {
+        self.victim.push(victim_id);
+        self.start.push(other.start[i]);
+        self.end.push(other.end[i]);
+        self.kind.push(other.kind[i]);
+        self.aux.push(other.aux[i]);
+        self.packets.push(other.packets[i]);
+        self.bytes.push(other.bytes[i]);
+        self.intensity.push(other.intensity[i]);
+        self.sources.push(other.sources[i]);
+    }
+
+    fn reserve(&mut self, additional: usize) {
+        self.victim.reserve(additional);
+        self.start.reserve(additional);
+        self.end.reserve(additional);
+        self.kind.reserve(additional);
+        self.aux.reserve(additional);
+        self.packets.reserve(additional);
+        self.bytes.reserve(additional);
+        self.intensity.reserve(additional);
+        self.sources.reserve(additional);
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.victim.capacity() * 4
+            + self.start.capacity() * 8
+            + self.end.capacity() * 8
+            + self.kind.capacity()
+            + self.aux.capacity() * 4
+            + self.packets.capacity() * 8
+            + self.bytes.capacity() * 8
+            + self.intensity.capacity() * 8
+            + self.sources.capacity() * 4
+    }
+}
+
+/// Per-source incremental aggregates, maintained at ingest so every
+/// Table 1 query is O(1) and never re-scans the columns.
+#[derive(Debug, Default, Clone)]
+struct SourceStats {
+    /// Distinct victims as bits over shared interned ids.
+    victims: BitSet,
+    /// Distinct /24 blocks as bits over the raw 24-bit prefix space.
+    blocks24: BitSet,
+    /// Distinct /16 blocks as bits over the raw 16-bit prefix space.
+    blocks16: BitSet,
+}
+
+impl SourceStats {
+    fn admit(&mut self, addr: u32, victim_id: u32) {
+        self.victims.insert(victim_id);
+        self.blocks24.insert(addr >> 8);
+        self.blocks16.insert(addr >> 16);
+    }
+}
 
 /// Aggregate counts for one source (a row of Table 1). ASN counting needs
 /// the enrichment metadata and lives in [`crate::report`].
@@ -17,61 +254,149 @@ pub struct SourceSummary {
     pub blocks16: u64,
 }
 
-/// The ingested event sets, kept sorted by start time per source.
+/// The ingested event sets as a columnar, time-sorted store (see the
+/// module docs for the layout).
 #[derive(Debug, Default)]
 pub struct EventStore {
-    telescope: Vec<AttackEvent>,
-    honeypot: Vec<AttackEvent>,
+    victims: Interner<Ipv4Addr>,
+    tele: ColumnBlock,
+    hp: ColumnBlock,
+    tele_index: RunIndex,
+    hp_index: RunIndex,
+    tele_stats: SourceStats,
+    hp_stats: SourceStats,
 }
 
 impl EventStore {
     /// Empty store.
     pub fn new() -> EventStore {
-        EventStore::default()
+        EventStore {
+            tele_index: RunIndex::new(KINDS),
+            hp_index: RunIndex::new(KINDS),
+            ..EventStore::default()
+        }
     }
 
-    /// Ingest the telescope detector's events (any order; re-sorted).
+    /// Ingest the telescope detector's events (any order; merge-sorted).
     pub fn ingest_telescope(&mut self, events: Vec<AttackEvent>) {
-        debug_assert!(events
-            .iter()
-            .all(|e| e.source() == EventSource::Telescope));
-        self.telescope.extend(events);
-        self.telescope.sort_by_key(|e| (e.when.start, e.target));
+        debug_assert!(events.iter().all(|e| e.source() == EventSource::Telescope));
+        self.ingest_rows(EventSource::Telescope, encode_batch(events.iter()));
     }
 
-    /// Ingest the honeypot fleet's events (any order; re-sorted).
+    /// Ingest the honeypot fleet's events (any order; merge-sorted).
     pub fn ingest_honeypot(&mut self, events: Vec<AttackEvent>) {
         debug_assert!(events.iter().all(|e| e.source() == EventSource::Honeypot));
-        self.honeypot.extend(events);
-        self.honeypot.sort_by_key(|e| (e.when.start, e.target));
+        self.ingest_rows(EventSource::Honeypot, encode_batch(events.iter()));
+    }
+
+    /// Ingest from borrowed events without ever cloning an
+    /// [`AttackEvent`]: rows are encoded straight into the staging
+    /// columns. This is the sharded pipeline's zero-copy handoff.
+    pub fn ingest_refs<'a>(
+        &mut self,
+        source: EventSource,
+        events: impl Iterator<Item = &'a AttackEvent>,
+    ) {
+        self.ingest_rows(source, encode_batch(events));
+    }
+
+    fn ingest_rows(&mut self, source: EventSource, mut staging: Vec<Row>) {
+        if staging.is_empty() {
+            return;
+        }
+        // The old store re-sorted `existing ⧺ batch` with a stable sort:
+        // equivalent to stably sorting the batch alone, then merging with
+        // existing rows winning key ties.
+        staging.sort_by_key(|r| (r.start, r.addr));
+
+        let (block, index, stats) = match source {
+            EventSource::Telescope => (&mut self.tele, &mut self.tele_index, &mut self.tele_stats),
+            EventSource::Honeypot => (&mut self.hp, &mut self.hp_index, &mut self.hp_stats),
+        };
+
+        // Aggregates are order-independent and insert-only: admit the
+        // staged rows up front, whatever merge path runs below.
+        for row in &staging {
+            let addr = Ipv4Addr::from(row.addr);
+            let id = self.victims.intern(addr);
+            stats.admit(row.addr, id);
+        }
+
+        let n = block.len();
+        let append_ok = n == 0 || {
+            let last = (block.start[n - 1], resolve_addr(&self.victims, block.victim[n - 1]));
+            (staging[0].start, staging[0].addr) >= last
+        };
+
+        if append_ok {
+            block.reserve(staging.len());
+            for row in staging {
+                let id = self.victims.intern(Ipv4Addr::from(row.addr));
+                index.push(row.kind, block.len() as u32);
+                block.push(row, id);
+            }
+            return;
+        }
+
+        // Two-pointer merge into fresh columns; existing rows win ties.
+        let mut merged = ColumnBlock::default();
+        merged.reserve(n + staging.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < n || j < staging.len() {
+            let take_existing = j >= staging.len()
+                || (i < n && {
+                    let ek = (block.start[i], resolve_addr(&self.victims, block.victim[i]));
+                    ek <= (staging[j].start, staging[j].addr)
+                });
+            if take_existing {
+                let id = block.victim[i];
+                merged.push_from(block, i, id);
+                i += 1;
+            } else {
+                let id = self.victims.intern(Ipv4Addr::from(staging[j].addr));
+                merged.push(staging[j], id);
+                j += 1;
+            }
+        }
+        *block = merged;
+        index.clear();
+        for (row, &kind) in block.kind.iter().enumerate() {
+            index.push(kind, row as u32);
+        }
     }
 
     /// Telescope events, sorted by start.
-    pub fn telescope(&self) -> &[AttackEvent] {
-        &self.telescope
+    pub fn telescope(&self) -> EventsView<'_> {
+        EventsView {
+            block: &self.tele,
+            victims: &self.victims,
+        }
     }
 
     /// Honeypot events, sorted by start.
-    pub fn honeypot(&self) -> &[AttackEvent] {
-        &self.honeypot
+    pub fn honeypot(&self) -> EventsView<'_> {
+        EventsView {
+            block: &self.hp,
+            victims: &self.victims,
+        }
     }
 
     /// Both sources chained (telescope first; not globally sorted).
-    pub fn all(&self) -> impl Iterator<Item = &AttackEvent> {
-        self.telescope.iter().chain(self.honeypot.iter())
+    pub fn all(&self) -> impl Iterator<Item = AttackEvent> + '_ {
+        self.telescope().into_iter().chain(self.honeypot())
     }
 
     /// Events of one source.
-    pub fn of(&self, source: EventSource) -> &[AttackEvent] {
+    pub fn of(&self, source: EventSource) -> EventsView<'_> {
         match source {
-            EventSource::Telescope => &self.telescope,
-            EventSource::Honeypot => &self.honeypot,
+            EventSource::Telescope => self.telescope(),
+            EventSource::Honeypot => self.honeypot(),
         }
     }
 
     /// Total event count.
     pub fn len(&self) -> usize {
-        self.telescope.len() + self.honeypot.len()
+        self.tele.len() + self.hp.len()
     }
 
     /// True when nothing was ingested.
@@ -79,13 +404,15 @@ impl EventStore {
         self.len() == 0
     }
 
-    /// Per-source aggregates over an arbitrary event set.
-    pub fn summarize<'a>(events: impl Iterator<Item = &'a AttackEvent>) -> SourceSummary {
+    /// Per-source aggregates over an arbitrary event set. Works for both
+    /// borrowed and owned event iterators.
+    pub fn summarize<E: Borrow<AttackEvent>>(events: impl Iterator<Item = E>) -> SourceSummary {
         let mut targets: FastSet<Ipv4Addr> = FastSet::default();
         let mut blocks24: FastSet<Prefix24> = FastSet::default();
         let mut blocks16: FastSet<Prefix16> = FastSet::default();
         let mut n = 0u64;
         for e in events {
+            let e = e.borrow();
             n += 1;
             targets.insert(e.target);
             blocks24.insert(Prefix24::of(e.target));
@@ -99,32 +426,323 @@ impl EventStore {
         }
     }
 
-    /// The Table 1 aggregate for one source.
+    /// The Table 1 aggregate for one source — O(1), maintained at ingest.
     pub fn summary(&self, source: EventSource) -> SourceSummary {
-        Self::summarize(self.of(source).iter())
+        let (block, stats) = match source {
+            EventSource::Telescope => (&self.tele, &self.tele_stats),
+            EventSource::Honeypot => (&self.hp, &self.hp_stats),
+        };
+        SourceSummary {
+            events: block.len() as u64,
+            targets: stats.victims.len() as u64,
+            blocks24: stats.blocks24.len() as u64,
+            blocks16: stats.blocks16.len() as u64,
+        }
     }
 
-    /// The Table 1 aggregate for the combined data.
+    /// The Table 1 aggregate for the combined data: union popcounts over
+    /// the per-source bitsets — no re-scan of either column block.
     pub fn summary_combined(&self) -> SourceSummary {
-        Self::summarize(self.all())
+        SourceSummary {
+            events: self.len() as u64,
+            targets: self.tele_stats.victims.union_count(&self.hp_stats.victims) as u64,
+            blocks24: self.tele_stats.blocks24.union_count(&self.hp_stats.blocks24) as u64,
+            blocks16: self.tele_stats.blocks16.union_count(&self.hp_stats.blocks16) as u64,
+        }
     }
 
-    /// Unique targets common to both sources (the paper's 282 k).
+    /// Unique targets common to both sources (the paper's 282 k): an
+    /// AND-popcount over the shared-interner victim bitsets.
     pub fn common_targets(&self) -> u64 {
-        let t: FastSet<Ipv4Addr> = self.telescope.iter().map(|e| e.target).collect();
-        self.honeypot
+        self.tele_stats
+            .victims
+            .intersection_count(&self.hp_stats.victims) as u64
+    }
+
+    /// Every distinct victim of one source, in interning (first-seen)
+    /// order — the columnar feed for per-target enrichment counts.
+    pub fn distinct_targets(&self, source: EventSource) -> impl Iterator<Item = Ipv4Addr> + '_ {
+        let stats = match source {
+            EventSource::Telescope => &self.tele_stats,
+            EventSource::Honeypot => &self.hp_stats,
+        };
+        stats.victims.iter().map(|id| self.victims.resolve(id))
+    }
+
+    /// Every distinct victim across both sources.
+    pub fn distinct_targets_combined(&self) -> impl Iterator<Item = Ipv4Addr> + '_ {
+        let mut union = self.tele_stats.victims.clone();
+        union.union_with(&self.hp_stats.victims);
+        union
             .iter()
-            .map(|e| e.target)
-            .collect::<FastSet<_>>()
-            .intersection(&t)
-            .count() as u64
+            .map(|id| self.victims.resolve(id))
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    /// The full attack history of one victim, both sources merged by
+    /// start time (telescope first on ties), decoded to events.
+    pub fn history(&self, target: Ipv4Addr) -> Vec<AttackEvent> {
+        let Some(id) = self.victims.get(target) else {
+            return Vec::new();
+        };
+        let collect = |block: &ColumnBlock| -> Vec<usize> {
+            (0..block.len()).filter(|&i| block.victim[i] == id).collect()
+        };
+        let t_rows = collect(&self.tele);
+        let h_rows = collect(&self.hp);
+        let mut out = Vec::with_capacity(t_rows.len() + h_rows.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < t_rows.len() || j < h_rows.len() {
+            let take_tele = j >= h_rows.len()
+                || (i < t_rows.len() && self.tele.start[t_rows[i]] <= self.hp.start[h_rows[j]]);
+            if take_tele {
+                out.push(self.tele.event(t_rows[i], &self.victims));
+                i += 1;
+            } else {
+                out.push(self.hp.event(h_rows[j], &self.victims));
+                j += 1;
+            }
+        }
+        out
+    }
+
+    /// Approximate heap footprint of the store in bytes: column vectors,
+    /// interner, indexes and aggregate bitsets. This is the "peak
+    /// working set" number the scale sweep records.
+    pub fn memory_bytes(&self) -> usize {
+        self.tele.memory_bytes()
+            + self.hp.memory_bytes()
+            + self.victims.memory_bytes()
+            + self.tele_index.memory_bytes()
+            + self.hp_index.memory_bytes()
+            + self.tele_stats.victims.memory_bytes()
+            + self.tele_stats.blocks24.memory_bytes()
+            + self.tele_stats.blocks16.memory_bytes()
+            + self.hp_stats.victims.memory_bytes()
+            + self.hp_stats.blocks24.memory_bytes()
+            + self.hp_stats.blocks16.memory_bytes()
+    }
+
+    /// Merge per-shard stores into one canonical store by a k-way walk
+    /// over the shards' column blocks — no event struct is decoded or
+    /// cloned on the way.
+    ///
+    /// Rows are taken in ascending `(start, victim)` order. Equal keys
+    /// can never sit in different shards (a victim belongs to exactly
+    /// one shard), so the merge is deterministic for *any* shard
+    /// enumeration order and reproduces the serial store exactly.
+    pub(crate) fn merge_shards(shards: &[EventStore]) -> EventStore {
+        let mut out = EventStore::new();
+        out.absorb(shards, EventSource::Telescope);
+        out.absorb(shards, EventSource::Honeypot);
+        out
+    }
+
+    fn absorb(&mut self, shards: &[EventStore], source: EventSource) {
+        let parts: Vec<(&ColumnBlock, &Interner<Ipv4Addr>)> = shards
+            .iter()
+            .map(|s| (s.block(source), &s.victims))
+            .collect();
+        let total: usize = parts.iter().map(|(b, _)| b.len()).sum();
+        let (block, index, stats) = match source {
+            EventSource::Telescope => (&mut self.tele, &mut self.tele_index, &mut self.tele_stats),
+            EventSource::Honeypot => (&mut self.hp, &mut self.hp_index, &mut self.hp_stats),
+        };
+        block.reserve(total);
+        let mut cursors = vec![0usize; parts.len()];
+        loop {
+            let mut best: Option<(u64, u32, usize)> = None;
+            for (k, (b, ids)) in parts.iter().enumerate() {
+                let i = cursors[k];
+                if i >= b.len() {
+                    continue;
+                }
+                let key = (b.start[i], resolve_addr(ids, b.victim[i]), k);
+                if best.is_none_or(|(s, a, _)| (key.0, key.1) < (s, a)) {
+                    best = Some(key);
+                }
+            }
+            let Some((_, addr, k)) = best else {
+                break;
+            };
+            let (b, _) = parts[k];
+            let i = cursors[k];
+            cursors[k] += 1;
+            let id = self.victims.intern(Ipv4Addr::from(addr));
+            stats.admit(addr, id);
+            index.push(b.kind[i], block.len() as u32);
+            block.push_from(b, i, id);
+        }
+    }
+
+    /// The column block of one source (crate-internal scan surface).
+    pub(crate) fn block(&self, source: EventSource) -> &ColumnBlock {
+        match source {
+            EventSource::Telescope => &self.tele,
+            EventSource::Honeypot => &self.hp,
+        }
+    }
+
+    /// The kind-predicate index of one source.
+    pub(crate) fn kind_index(&self, source: EventSource) -> &RunIndex {
+        match source {
+            EventSource::Telescope => &self.tele_index,
+            EventSource::Honeypot => &self.hp_index,
+        }
+    }
+
+    /// The shared victim interner.
+    pub(crate) fn victim_ids(&self) -> &Interner<Ipv4Addr> {
+        &self.victims
+    }
+}
+
+fn resolve_addr(victims: &Interner<Ipv4Addr>, id: u32) -> u32 {
+    u32::from(victims.resolve(id))
+}
+
+fn encode_batch<'a>(events: impl Iterator<Item = &'a AttackEvent>) -> Vec<Row> {
+    events.map(Row::encode).collect()
+}
+
+/// A borrowed, zero-copy view of one source's events in store order.
+///
+/// The view decodes rows into owned [`AttackEvent`]s on access: `get`
+/// and iteration hand back values, not references, so call sites that
+/// previously iterated `&[AttackEvent]` keep working with at most a
+/// dropped `&`/`.cloned()`. Equality against other views and against
+/// event slices compares decoded rows, which keeps the serial-vs-sharded
+/// equivalence assertions byte-for-byte meaningful.
+#[derive(Clone, Copy)]
+pub struct EventsView<'a> {
+    block: &'a ColumnBlock,
+    victims: &'a Interner<Ipv4Addr>,
+}
+
+impl<'a> EventsView<'a> {
+    /// Number of events in the view.
+    pub fn len(&self) -> usize {
+        self.block.len()
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.block.len() == 0
+    }
+
+    /// Decode the event at row `i` (panics when out of bounds).
+    pub fn get(&self, i: usize) -> AttackEvent {
+        self.block.event(i, self.victims)
+    }
+
+    /// Iterate the events in store order, decoding each row.
+    pub fn iter(&self) -> EventsIter<'a> {
+        EventsIter {
+            view: *self,
+            next: 0,
+            back: self.block.len(),
+        }
+    }
+
+    /// Materialize the view into an owned vector.
+    pub fn to_vec(&self) -> Vec<AttackEvent> {
+        self.iter().collect()
+    }
+}
+
+/// Owning-item iterator over an [`EventsView`].
+#[derive(Clone)]
+pub struct EventsIter<'a> {
+    view: EventsView<'a>,
+    next: usize,
+    back: usize,
+}
+
+impl Iterator for EventsIter<'_> {
+    type Item = AttackEvent;
+
+    fn next(&mut self) -> Option<AttackEvent> {
+        if self.next >= self.back {
+            return None;
+        }
+        let e = self.view.get(self.next);
+        self.next += 1;
+        Some(e)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.back - self.next;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for EventsIter<'_> {}
+
+impl DoubleEndedIterator for EventsIter<'_> {
+    fn next_back(&mut self) -> Option<AttackEvent> {
+        if self.next >= self.back {
+            return None;
+        }
+        self.back -= 1;
+        Some(self.view.get(self.back))
+    }
+}
+
+impl<'a> IntoIterator for EventsView<'a> {
+    type Item = AttackEvent;
+    type IntoIter = EventsIter<'a>;
+
+    fn into_iter(self) -> EventsIter<'a> {
+        self.iter()
+    }
+}
+
+impl<'a> IntoIterator for &EventsView<'a> {
+    type Item = AttackEvent;
+    type IntoIter = EventsIter<'a>;
+
+    fn into_iter(self) -> EventsIter<'a> {
+        self.iter()
+    }
+}
+
+impl PartialEq for EventsView<'_> {
+    fn eq(&self, other: &EventsView<'_>) -> bool {
+        self.len() == other.len() && self.iter().zip(other.iter()).all(|(a, b)| a == b)
+    }
+}
+
+impl PartialEq<[AttackEvent]> for EventsView<'_> {
+    fn eq(&self, other: &[AttackEvent]) -> bool {
+        self.len() == other.len() && self.iter().zip(other.iter()).all(|(a, b)| a == *b)
+    }
+}
+
+impl PartialEq<Vec<AttackEvent>> for EventsView<'_> {
+    fn eq(&self, other: &Vec<AttackEvent>) -> bool {
+        *self == other[..]
+    }
+}
+
+impl PartialEq<&[AttackEvent]> for EventsView<'_> {
+    fn eq(&self, other: &&[AttackEvent]) -> bool {
+        *self == **other
+    }
+}
+
+impl std::fmt::Debug for EventsView<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dosscope_types::{AttackVector, PortSignature, ReflectionProtocol, SimTime, TimeRange, TransportProto};
+    use dosscope_types::{
+        AttackVector, PortSignature, ReflectionProtocol, SimTime, TimeRange, TransportProto,
+    };
 
     fn tele(ip: &str, start: u64) -> AttackEvent {
         AttackEvent {
@@ -186,7 +804,80 @@ mod tests {
     fn ingest_sorts_by_start() {
         let mut s = EventStore::new();
         s.ingest_telescope(vec![tele("10.0.0.1", 500), tele("10.0.0.2", 10)]);
-        assert!(s.telescope().windows(2).all(|w| w[0].when.start <= w[1].when.start));
+        let events = s.telescope().to_vec();
+        assert!(events.windows(2).all(|w| w[0].when.start <= w[1].when.start));
+    }
+
+    #[test]
+    fn vector_encoding_roundtrips() {
+        let mut vectors = vec![];
+        for proto in TransportProto::ALL {
+            vectors.push(AttackVector::RandomlySpoofed {
+                proto,
+                ports: PortSignature::Single(443),
+            });
+            vectors.push(AttackVector::RandomlySpoofed {
+                proto,
+                ports: PortSignature::Multi(17),
+            });
+            vectors.push(AttackVector::RandomlySpoofed {
+                proto,
+                ports: PortSignature::None,
+            });
+        }
+        for protocol in ReflectionProtocol::ALL {
+            vectors.push(AttackVector::Reflection { protocol });
+        }
+        let mut seen = std::collections::HashSet::new();
+        for v in vectors {
+            let (kind, aux) = encode_vector(v);
+            assert!((kind as usize) < KINDS, "kind codes stay in range");
+            assert!(seen.insert((kind, aux)), "codes are distinct");
+            assert_eq!(decode_vector(kind, aux), v, "decode inverts encode");
+        }
+    }
+
+    #[test]
+    fn views_decode_rows_exactly() {
+        let mut s = EventStore::new();
+        let batch = vec![tele("10.0.0.1", 500), tele("10.0.0.2", 10)];
+        s.ingest_telescope(batch.clone());
+        let mut expect = batch;
+        expect.sort_by_key(|e| (e.when.start, e.target));
+        assert_eq!(s.telescope(), expect, "view equals the sorted rows");
+        assert_eq!(s.telescope().get(0), expect[0]);
+        assert_eq!(s.telescope().to_vec(), expect);
+        assert_eq!(s.telescope().iter().len(), 2);
+        let rev: Vec<AttackEvent> = s.telescope().iter().rev().collect();
+        assert_eq!(rev[1], expect[0], "double-ended iteration");
+    }
+
+    #[test]
+    fn out_of_order_ingest_matches_row_semantics() {
+        // Second batch starts before the first ends: forces the merge
+        // path, which must reproduce the old extend-and-stable-sort.
+        let mut s = EventStore::new();
+        let b1 = vec![tele("10.0.0.9", 300), tele("10.0.0.1", 700)];
+        let b2 = vec![tele("10.0.0.3", 100), tele("10.0.0.1", 300), tele("10.0.0.9", 300)];
+        s.ingest_telescope(b1.clone());
+        s.ingest_telescope(b2.clone());
+        let mut rows: Vec<AttackEvent> = b1;
+        rows.extend(b2);
+        rows.sort_by_key(|e| (e.when.start, e.target));
+        assert_eq!(s.telescope(), rows);
+    }
+
+    #[test]
+    fn history_merges_sources_by_start() {
+        let mut s = EventStore::new();
+        s.ingest_telescope(vec![tele("10.0.0.1", 50), tele("10.0.0.2", 60), tele("10.0.0.1", 500)]);
+        s.ingest_honeypot(vec![hp("10.0.0.1", 90), hp("10.0.0.1", 50)]);
+        let h = s.history("10.0.0.1".parse().unwrap());
+        assert_eq!(h.len(), 4);
+        let starts: Vec<u64> = h.iter().map(|e| e.when.start.0).collect();
+        assert_eq!(starts, vec![50, 50, 90, 500]);
+        assert_eq!(h[0].source(), EventSource::Telescope, "telescope wins ties");
+        assert!(s.history("192.168.0.1".parse().unwrap()).is_empty());
     }
 
     #[test]
@@ -195,5 +886,14 @@ mod tests {
         assert!(s.is_empty());
         assert_eq!(s.summary_combined(), SourceSummary::default());
         assert_eq!(s.common_targets(), 0);
+        assert_eq!(s.telescope().len(), 0);
+        assert!(s.all().next().is_none());
+    }
+
+    #[test]
+    fn memory_accounting_is_nonzero() {
+        let mut s = EventStore::new();
+        s.ingest_telescope(vec![tele("10.0.0.1", 50)]);
+        assert!(s.memory_bytes() > 0);
     }
 }

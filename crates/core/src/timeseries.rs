@@ -9,6 +9,7 @@
 
 use crate::enrich::Enricher;
 use dosscope_types::{AttackEvent, TimeSeries};
+use std::borrow::Borrow;
 use std::collections::HashSet;
 
 /// The four per-day series of one Figure 1 panel.
@@ -29,13 +30,14 @@ impl DailySeries {
     ///
     /// `filter` selects which events count (identity for Figure 1, the
     /// medium+ intensity predicate for Figure 5).
-    pub fn build<'a, F>(
-        events: impl Iterator<Item = &'a AttackEvent>,
+    pub fn build<E, F>(
+        events: impl Iterator<Item = E>,
         enricher: &Enricher<'_>,
         days: u32,
         mut filter: F,
     ) -> DailySeries
     where
+        E: Borrow<AttackEvent>,
         F: FnMut(&AttackEvent) -> bool,
     {
         let mut attacks = TimeSeries::zeros(days);
@@ -43,6 +45,7 @@ impl DailySeries {
         let mut day_blocks: Vec<HashSet<u32>> = vec![HashSet::new(); days as usize];
         let mut day_asns: Vec<HashSet<u32>> = vec![HashSet::new(); days as usize];
         for e in events {
+            let e = e.borrow();
             if !filter(e) {
                 continue;
             }
@@ -81,11 +84,11 @@ impl DailySeries {
 }
 
 /// The mean intensity of an event set — the "medium intensity" cutoff.
-pub fn mean_intensity<'a>(events: impl Iterator<Item = &'a AttackEvent>) -> f64 {
+pub fn mean_intensity<E: Borrow<AttackEvent>>(events: impl Iterator<Item = E>) -> f64 {
     let mut sum = 0.0;
     let mut n = 0u64;
     for e in events {
-        sum += e.intensity_pps;
+        sum += e.borrow().intensity_pps;
         n += 1;
     }
     if n == 0 {
@@ -168,7 +171,8 @@ mod tests {
 
     #[test]
     fn mean_intensity_empty() {
-        assert_eq!(mean_intensity([].iter()), 0.0);
+        let none: [AttackEvent; 0] = [];
+        assert_eq!(mean_intensity(none.iter()), 0.0);
     }
 
     #[test]

@@ -51,11 +51,12 @@ pub struct IntensityNormalizer {
 impl IntensityNormalizer {
     /// Fit over the ingested events.
     pub fn fit(store: &crate::EventStore) -> IntensityNormalizer {
-        let fit_one = |events: &[AttackEvent]| -> (f64, f64) {
+        // Fit straight off each source's intensity column.
+        let fit_one = |intensities: &[f64]| -> (f64, f64) {
             let mut min = f64::INFINITY;
             let mut max = f64::NEG_INFINITY;
-            for e in events {
-                let l = e.intensity_pps.max(1e-9).ln();
+            for &pps in intensities {
+                let l = pps.max(1e-9).ln();
                 min = min.min(l);
                 max = max.max(l);
             }
@@ -65,8 +66,8 @@ impl IntensityNormalizer {
                 (min, max - min)
             }
         };
-        let (tmin, tspan) = fit_one(store.telescope());
-        let (hmin, hspan) = fit_one(store.honeypot());
+        let (tmin, tspan) = fit_one(&store.block(EventSource::Telescope).intensity);
+        let (hmin, hspan) = fit_one(&store.block(EventSource::Honeypot).intensity);
         IntensityNormalizer {
             tele_min_ln: tmin,
             tele_span_ln: tspan,
@@ -206,7 +207,7 @@ impl WebImpact {
                 EventSource::Telescope => e.intensity_pps >= tele_cutoff,
                 EventSource::Honeypot => e.intensity_pps >= hp_cutoff,
             };
-            let norm = normalizer.normalize(e);
+            let norm = normalizer.normalize(&e);
             let long4h = e.source() == EventSource::Honeypot
                 && e.duration_secs() >= 4 * dosscope_types::SECS_PER_HOUR;
 

@@ -752,8 +752,7 @@ impl<'a> Experiments<'a> {
                 .store
                 .telescope()
                 .iter()
-                .filter(|e| keep(e))
-                .cloned()
+                .filter(keep)
                 .collect(),
         );
         trimmed_store.ingest_honeypot(
@@ -761,8 +760,7 @@ impl<'a> Experiments<'a> {
                 .store
                 .honeypot()
                 .iter()
-                .filter(|e| keep(e))
-                .cloned()
+                .filter(keep)
                 .collect(),
         );
         let trimmed_fw = Framework::new(&trimmed_store, &world.geo, &world.asdb, world.days)

@@ -17,6 +17,8 @@
 pub mod bytes;
 pub mod event;
 pub mod fasthash;
+pub mod index;
+pub mod intern;
 pub mod net;
 pub mod pool;
 pub mod service;
@@ -29,6 +31,8 @@ pub use event::{
     AttackEvent, AttackVector, EventSource, PortSignature, ReflectionProtocol, TransportProto,
 };
 pub use fasthash::{FastBuildHasher, FastMap, FastSet, FxHasher};
+pub use index::{BitSet, RunIndex};
+pub use intern::Interner;
 pub use net::{Asn, CountryCode, Ipv4Cidr, Prefix16, Prefix24};
 pub use pool::{PoolError, PoolMetricsSnapshot, Routed, ShardPool, WorkerMetricsSnapshot};
 pub use shard::{shard_of, shard_of_addr};

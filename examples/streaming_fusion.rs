@@ -21,7 +21,7 @@ fn main() {
 
     // Merge both sources into arrival order, as live detectors would
     // deliver them.
-    let mut stream: Vec<&AttackEvent> = world
+    let mut stream: Vec<AttackEvent> = world
         .store
         .telescope()
         .iter()
@@ -32,7 +32,7 @@ fn main() {
     let mut fusion = StreamingFusion::new(&world.geo, &world.asdb, world.days);
     let mut next_report = 30u32;
     println!("day   | events  targets  /24s  common  joint  ASNs");
-    for e in stream {
+    for e in &stream {
         fusion.push(e);
         let day = e.when.start.day().0;
         if day >= next_report {

@@ -1,0 +1,81 @@
+//! Pin for the sharded pipeline's zero-copy handoff: routing events to
+//! shard workers and merging the per-shard stores back into one must not
+//! clone a single `AttackEvent`. The batch travels behind an `Arc` with
+//! per-shard row-index lists, workers encode straight from references
+//! into their column blocks, and the snapshot merge copies column cells,
+//! not event structs.
+//!
+//! This lives in its own test binary: the clone counter is a
+//! process-global registry (see `dosscope_types::event::clone_audit`),
+//! so the before/after comparison needs a process to itself.
+
+// The audit hooks only exist in debug builds (`cfg(debug_assertions)`),
+// which is what `cargo test` runs.
+#![cfg(debug_assertions)]
+
+use dosscope_core::ShardedEventStore;
+use dosscope_types::event::clone_audit;
+use dosscope_types::{
+    AttackEvent, AttackVector, EventSource, PortSignature, ReflectionProtocol, SimTime,
+    TimeRange, TransportProto,
+};
+
+fn events() -> (Vec<AttackEvent>, Vec<AttackEvent>) {
+    let mut tele = Vec::new();
+    let mut hp = Vec::new();
+    for i in 0..2_000u64 {
+        let target = std::net::Ipv4Addr::from(0x0a00_0000u32 + (i as u32 * 7919) % 50_000);
+        let when = TimeRange::new(SimTime(i * 13), SimTime(i * 13 + 600));
+        if i % 3 == 0 {
+            hp.push(AttackEvent {
+                target,
+                when,
+                vector: AttackVector::Reflection {
+                    protocol: ReflectionProtocol::ALL[(i % 8) as usize],
+                },
+                packets: 101 + i,
+                bytes: 5000,
+                intensity_pps: 2.0,
+                distinct_sources: 4,
+            });
+        } else {
+            tele.push(AttackEvent {
+                target,
+                when,
+                vector: AttackVector::RandomlySpoofed {
+                    proto: TransportProto::ALL[(i % 4) as usize],
+                    ports: PortSignature::Single(80),
+                },
+                packets: 25 + i,
+                bytes: 1000,
+                intensity_pps: 1.0,
+                distinct_sources: 10,
+            });
+        }
+    }
+    (tele, hp)
+}
+
+#[test]
+fn sharded_ingest_and_merge_clone_no_events() {
+    let (tele, hp) = events();
+    let (n_tele, n_hp) = (tele.len(), hp.len());
+
+    let before = clone_audit::event_clones();
+    let mut sharded = ShardedEventStore::new(8);
+    sharded.ingest_telescope(tele);
+    sharded.ingest_honeypot(hp);
+    let store = sharded.into_store();
+    let after = clone_audit::event_clones();
+
+    assert_eq!(
+        after - before,
+        0,
+        "sharded ingest + snapshot merge must be zero-copy per event"
+    );
+
+    // The zero-copy path still delivered every event.
+    assert_eq!(store.telescope().len(), n_tele);
+    assert_eq!(store.honeypot().len(), n_hp);
+    assert!(store.summary(EventSource::Telescope).targets > 0);
+}

@@ -183,14 +183,14 @@ fn streaming_fusion_matches_batch() {
     let world = world();
     let mut streaming =
         dosscope_core::streaming::StreamingFusion::new(&world.geo, &world.asdb, world.days);
-    let mut all: Vec<&dosscope_types::AttackEvent> = world
+    let mut all: Vec<dosscope_types::AttackEvent> = world
         .store
         .telescope()
         .iter()
         .chain(world.store.honeypot())
         .collect();
     all.sort_by_key(|e| e.when.start);
-    for e in all {
+    for e in &all {
         streaming.push(e);
     }
     let snap = streaming.snapshot();

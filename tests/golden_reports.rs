@@ -19,10 +19,10 @@ fn golden_dir() -> PathBuf {
 }
 
 /// Compare `actual` to the checked-in snapshot, or rewrite the snapshot
-/// when `GOLDEN_UPDATE` is set.
-fn check(name: &str, actual: &str) {
+/// when `GOLDEN_UPDATE` is set and this is the regenerating pass.
+fn check_at(name: &str, actual: &str, allow_update: bool) {
     let path = golden_dir().join(name);
-    if std::env::var_os("GOLDEN_UPDATE").is_some() {
+    if allow_update && std::env::var_os("GOLDEN_UPDATE").is_some() {
         std::fs::create_dir_all(path.parent().expect("golden dir")).expect("create golden dir");
         std::fs::write(&path, actual).expect("write golden file");
         return;
@@ -53,16 +53,30 @@ fn check(name: &str, actual: &str) {
 
 #[test]
 fn golden_tables_and_report() {
-    let config = ScenarioConfig::test_small();
-    let world = Scenario::run(&config);
-    let fw = world.framework();
-    check("table1.txt", &Table1::build(&fw).render());
-    check(
-        "table2.txt",
-        &Table2::build(&fw).expect("scenario attaches the zone").render(),
-    );
-    check(
-        "report.txt",
-        &Experiments::run(&world, config.scale).render_report(),
-    );
+    // The same goldens must hold at every thread count: the sharded
+    // pipeline and the columnar snapshot merge promise byte-identical
+    // output, so the serial run and an 8-way run check against the very
+    // same files. Regeneration happens on the serial pass only; the
+    // 8-way pass reads the fresh files back, so an update still proves
+    // thread-count invariance.
+    for threads in [1, 8] {
+        let config = ScenarioConfig {
+            threads,
+            ..ScenarioConfig::test_small()
+        };
+        let world = Scenario::run(&config);
+        let fw = world.framework();
+        let allow_update = threads == 1;
+        check_at("table1.txt", &Table1::build(&fw).render(), allow_update);
+        check_at(
+            "table2.txt",
+            &Table2::build(&fw).expect("scenario attaches the zone").render(),
+            allow_update,
+        );
+        check_at(
+            "report.txt",
+            &Experiments::run(&world, config.scale).render_report(),
+            allow_update,
+        );
+    }
 }

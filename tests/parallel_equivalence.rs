@@ -181,7 +181,6 @@ fn sharded_fusion_matches_serial_on_scenario_events() {
         .telescope()
         .iter()
         .chain(world.store.honeypot())
-        .cloned()
         .collect();
     all.sort_by_key(|e| (e.when.start, e.target));
 
