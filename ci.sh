@@ -20,7 +20,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> bench smoke (pipeline --smoke --check BENCH_pipeline.json)"
 # Runs the end-to-end bench at the reduced smoke scale with measurement
 # threads {1, 8} and validates the committed trajectory file:
-#   * structurally well-formed v4 schema, every (stage, threads) pair
+#   * structurally well-formed v5 schema, every (stage, threads) pair
 #     present, nonzero peak working set on the threaded detection lanes;
 #   * no measured current-vs-baseline speedup regressed to less than half
 #     the committed value;
@@ -33,12 +33,19 @@ echo "==> bench smoke (pipeline --smoke --check BENCH_pipeline.json)"
 #   * on full-scale regenerations only (walls are not comparable across
 #     scales), the disabled-telemetry serial measurement stays within 2%
 #     of the committed trajectory;
-#   * the committed store scale sweep proves the paper-scale x20 run
-#     (a scale=20 lane with >= 20M events, nonzero fusion+report
-#     throughput and a recorded peak working set), and the fresh smoke
-#     run completes its own scale=5 sweep lane (fusion+report lane
-#     present, peak memory recorded).
-# Speedups are in-run ratios, so every gate is machine-independent.
+#   * ingest linearity on the committed sweep: the scale=100 lane proves
+#     the 100x-paper-scale run (>= 100M events with nonzero fusion+report
+#     throughput and a recorded peak working set), its scale-normalized
+#     ingest wall (ingest_secs / 100) stays within 2.0x of the committed
+#     scale=1 lane, and the scale=20 lane stays within 3.0x of 20x the
+#     scale=1 ingest wall — sorted-run ingest must not regress back to
+#     the superlinear merge-per-batch behavior;
+#   * the fresh smoke run completes its own sweep (scales {1, 5},
+#     best-of-3 interleaved out-of-order batches) and its scale=5 ingest
+#     wall stays within 7.0x of its scale=1 wall (5x the rows plus
+#     consolidation headroom).
+# Speedups and linearity checks are in-run ratios, so every gate is
+# machine-independent.
 smoke_out="$(mktemp)"
 telemetry_out="$(mktemp)"
 trap 'rm -f "$smoke_out" "$telemetry_out"' EXIT

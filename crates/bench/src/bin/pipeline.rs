@@ -7,7 +7,7 @@
 //! measurement with `dosscope-obs` collection off and on (interleaved, so
 //! ambient noise lands on both alike), plus a columnar-store scale sweep
 //! (see below). Writes the machine-readable trajectory to
-//! `BENCH_pipeline.json` (schema `dosscope-bench-pipeline-v4`).
+//! `BENCH_pipeline.json` (schema `dosscope-bench-pipeline-v5`).
 //!
 //! Usage:
 //!
@@ -20,19 +20,30 @@
 //!
 //! The detector stages produce tens of thousands of events at bench
 //! scale, but the columnar [`EventStore`] is sized for the paper's
-//! millions — and 20x beyond. The sweep lane replicates the serial
+//! millions — and 100x beyond. The sweep lane replicates the serial
 //! detectors' events with deterministic perturbations (each replica
 //! shifts every start by 31 s and every target by one address, so
 //! victims, /24s and timestamps all stay diverse) up to scale ∈
-//! {1, 5, 20} × ~1.045 M events (full runs; smoke sweeps {1, 5} ×
-//! 25 k), then times a single-batch ingest, the fusion aggregates
-//! (combined summary + common targets) and the Table 1–3 report
-//! assembly over the resulting store, recording the store's peak working
-//! set via its own byte accounting. Scale 20 is the paper-scale × 20
-//! claim: ≈ 20.9 M events fused and reported in one in-memory store.
+//! {1, 5, 20, 50, 100} × ~1.045 M events (full runs; smoke sweeps
+//! {1, 5} × 25 k). Each stream is stride-split into
+//! [`SWEEP_BATCHES`] interleaved batches — every batch spans the full
+//! time range, so all but the first arrive out of order and land in the
+//! store's sorted-run machinery — and the ingest timer covers every
+//! batch *plus* the final consolidation, i.e. the full cost of reaching
+//! a query-ready store. The fusion timer then streams every stored
+//! event (both sources merged by start) through the incremental
+//! [`StreamingFusion`] engine, enrichment lookups included — honest
+//! per-event fusion work, not the O(1) bitset summaries the store
+//! answers aggregate queries from — and the report timer assembles
+//! Tables 1–3 over the same store. Scale 100 is the headline claim:
+//! ≈ 104.5 M events ingested, fused and reported in one in-memory
+//! store, with ingest cost per event flat across the sweep (the
+//! sorted-run design's amortized-linear guarantee).
 //!
 //! `--smoke` runs the reduced test scale and times the measurement stages
-//! at threads {1, 8} only (for CI). `--telemetry` (or
+//! at threads {1, 8} only (for CI); its sweep lanes keep the best of
+//! [`SMOKE_SWEEP_REPS`] repetitions, since millisecond lanes are
+//! scheduler-noise-bound. `--telemetry` (or
 //! `DOSSCOPE_TELEMETRY=1`) additionally collects spans/counters/pool
 //! profiles over the pool lanes and writes `TELEMETRY.json` plus the
 //! ASCII dashboard (note: collection adds clock reads inside the timed
@@ -42,14 +53,34 @@
 //! regressed to less than half the committed value, the committed
 //! parallel speedup is below the 4x floor, the fresh threads=8 wall
 //! time regressed past threads=1 by more than the dispatch-overhead
-//! budget, the committed sweep lacks a scale=20 lane with ≥ 20 M events
-//! and a finite peak working set, or the fresh sweep lacks its largest
-//! scheduled lane (speedups are in-run ratios, so every gate is
-//! machine-independent). On a full-scale run whose scale/days match the
-//! committed file, `--check` also gates the disabled-telemetry serial
-//! measurement wall at [`DISABLED_TELEMETRY_BUDGET`] of the committed
-//! trajectory — proof that instrumentation-off costs stay within noise
-//! of the pre-instrumentation pipeline.
+//! budget, the committed sweep breaks its scaling gates (below), or the
+//! fresh sweep lacks its largest scheduled lane (speedups and the sweep
+//! gates are in-run ratios, so every gate is machine-independent). The
+//! committed sweep must carry a scale=100 lane with ≥ 100 M events and
+//! a finite peak working set, its scale-normalized ingest wall
+//! (`ingest_secs / scale`) within [`SWEEP_NORMALIZED_INGEST_BUDGET`] of
+//! the scale=1 lane's, and a scale=20 ingest within
+//! [`SWEEP_SCALE20_BUDGET`] of 20x the scale=1 wall — the committed
+//! proof that ingest stays amortized-linear to 100x paper scale. Fresh
+//! smoke runs additionally gate their scale=5/scale=1 ingest ratio at
+//! [`SWEEP_SMOKE_INGEST_RATIO`] (5x the work, plus headroom for
+//! millisecond-lane noise). On a full-scale run whose scale/days match
+//! the committed file, `--check` also gates the disabled-telemetry
+//! serial measurement wall at [`DISABLED_TELEMETRY_BUDGET`] of the
+//! committed trajectory — proof that instrumentation-off costs stay
+//! within noise of the pre-instrumentation pipeline.
+//!
+//! Full-run memory note: the scale=100 lane's working set (event
+//! vectors, batch splits, columns and merge transients) peaks around
+//! 25–30 GiB. Before the sweep the bench pre-faults an arena of that
+//! size once, outside every timer, so lazily-populated VM memory (some
+//! hypervisors charge tens of microseconds per first-touched page) is
+//! paid up front rather than inside whichever lane happens to touch a
+//! page first. On hosts whose allocator returns large freed blocks to
+//! the OS immediately (glibc mmap'd chunks), run full regenerations
+//! with `MALLOC_MMAP_MAX_=0 MALLOC_TRIM_THRESHOLD_=-1` so the
+//! pre-faulted pages stay in the heap and the lanes actually reuse
+//! them; the gates are in-run ratios either way.
 //!
 //! ## How the parallel speedup is measured
 //!
@@ -74,7 +105,7 @@ use dosscope_bench::baseline::{
     BaselineRequestBatch, BaselineRsdos,
 };
 use dosscope_core::report::{Table1, Table2, Table3};
-use dosscope_core::{EventStore, Framework, ShardedEventStore};
+use dosscope_core::{EventStore, Framework, ShardedEventStore, StreamingFusion};
 use dosscope_dns::synth::{synthesize, SynthConfig};
 use dosscope_dps::DpsDataset;
 use dosscope_geo::{AsRegistry, RegistryConfig};
@@ -127,22 +158,52 @@ const WALL_GATE_CPUS: usize = 8;
 /// committed file (wall times are not comparable across scales).
 const DISABLED_TELEMETRY_BUDGET: f64 = 1.02;
 
-/// Store scale-sweep multipliers for full runs. Scale 20 is the headline
-/// claim: 20x the paper's event population in one in-memory store.
-const SWEEP_SCALES: [u64; 3] = [1, 5, 20];
+/// Store scale-sweep multipliers for full runs. Scale 100 is the
+/// headline claim: 100x the paper's event population in one in-memory
+/// store, ingested through the sorted-run path at flat per-event cost.
+const SWEEP_SCALES: [u64; 5] = [1, 5, 20, 50, 100];
 
 /// Sweep multipliers for `--smoke` (CI gates the scale=5 lane).
 const SWEEP_SCALES_SMOKE: [u64; 2] = [1, 5];
 
 /// Events per sweep unit on full runs: the paper's combined event
-/// population (≈ 1.045 M), so scale 20 lands at ≈ 20.9 M events.
+/// population (≈ 1.045 M), so scale 100 lands at ≈ 104.5 M events.
 const SWEEP_UNIT_EVENTS: u64 = 1_045_000;
 
 /// Events per sweep unit at smoke scale.
 const SWEEP_UNIT_EVENTS_SMOKE: u64 = 25_000;
 
-/// Committed-file floor for the scale=20 sweep lane's event count.
-const SWEEP_FULL_FLOOR: u64 = 20_000_000;
+/// Interleaved batches each sweep stream is stride-split into: batch j
+/// takes rows j, j+B, j+2B, …, so every batch spans the full time range
+/// and all but the first arrive out of order (the sorted-run worst-ish
+/// case the ingest gates are about).
+const SWEEP_BATCHES: usize = 8;
+
+/// Sweep repetitions at smoke scale (best kept per timer): the smoke
+/// lanes are milliseconds, so single shots are scheduler-noise-bound.
+const SMOKE_SWEEP_REPS: usize = 3;
+
+/// Committed-file floor for the scale=100 sweep lane's event count.
+const SWEEP_FULL_FLOOR: u64 = 100_000_000;
+
+/// Committed budget for scale-normalized ingest: the scale=100 lane's
+/// `ingest_secs / 100` must stay within this factor of the scale=1
+/// lane's `ingest_secs`. This is the amortized-linearity gate — the
+/// retired merge-per-batch ingest was ~10x over it at scale 20 alone.
+const SWEEP_NORMALIZED_INGEST_BUDGET: f64 = 2.0;
+
+/// Committed budget for the scale=20 lane: `ingest_secs` within this
+/// factor of 20x the scale=1 wall (a second, mid-sweep linearity pin).
+const SWEEP_SCALE20_BUDGET: f64 = 3.0;
+
+/// Fresh smoke-run ceiling on the scale=5 / scale=1 ingest-wall ratio
+/// (5x the work, with headroom because both lanes are milliseconds).
+const SWEEP_SMOKE_INGEST_RATIO: f64 = 7.0;
+
+/// Working-set bytes pre-faulted per scheduled sweep event on full runs
+/// (see the module docs' memory note): covers the event vectors, the
+/// stride-split batches, the store columns and the merge transients.
+const PREFAULT_BYTES_PER_EVENT: usize = 256;
 
 struct Stage {
     name: &'static str,
@@ -183,11 +244,16 @@ impl ParallelLane {
 }
 
 /// One store scale-sweep lane: a replicated event population pushed
-/// through ingest, fusion and report over a single columnar store.
+/// through interleaved-batch ingest, streaming fusion and report over a
+/// single columnar store.
 struct SweepLane {
     scale: u64,
     events: u64,
+    /// Wall covering every stride-split batch plus the final
+    /// consolidation — the full cost of a query-ready store.
     ingest_secs: f64,
+    /// Wall of the per-event streaming-fusion pass (both sources merged
+    /// by start, enrichment lookups included) plus the aggregate reads.
     fusion_secs: f64,
     report_secs: f64,
     /// The store's own byte accounting after ingest: interner + columns
@@ -197,10 +263,32 @@ struct SweepLane {
 
 impl SweepLane {
     /// Fusion + report throughput (events per second through the
-    /// columnar scans, the number the 20x claim is about).
+    /// streaming fusion and columnar report scans, the number the
+    /// 100x claim is about).
     fn fusion_report_events_per_sec(&self) -> f64 {
         ratio(self.events as f64, self.fusion_secs + self.report_secs)
     }
+
+    fn ingest_events_per_sec(&self) -> f64 {
+        ratio(self.events as f64, self.ingest_secs)
+    }
+}
+
+/// Split `events` into [`SWEEP_BATCHES`] stride batches: batch j takes
+/// rows j, j+B, j+2B, … Relative order within a batch stays ascending
+/// when the input was, but every batch covers the whole time range, so
+/// batches 2..B arrive out of order at the store.
+fn stride_split(
+    events: Vec<dosscope_types::AttackEvent>,
+    batches: usize,
+) -> Vec<Vec<dosscope_types::AttackEvent>> {
+    let mut out: Vec<Vec<dosscope_types::AttackEvent>> = (0..batches)
+        .map(|_| Vec::with_capacity(events.len() / batches + 1))
+        .collect();
+    for (i, e) in events.into_iter().enumerate() {
+        out[i % batches].push(e);
+    }
+    out
 }
 
 /// Replicate a detector event set `factor` times with deterministic
@@ -617,53 +705,130 @@ fn main() {
     } else {
         (&SWEEP_SCALES, SWEEP_UNIT_EVENTS)
     };
+    let cpus = std::thread::available_parallelism().map_or(0, |n| n.get());
     let base_total = (serial_tele.len() + serial_hp.len()) as u64;
+
+    // Pre-fault the sweep's peak working set once, outside every timer
+    // (see the module docs' memory note). A resize with a nonzero byte
+    // actually writes every page; the arena is dropped before any lane
+    // starts, so lanes reuse the now-populated heap.
+    if !opts.smoke {
+        let top = *sweep_scales.last().expect("sweep scales nonempty");
+        let bytes = (top * unit) as usize * PREFAULT_BYTES_PER_EVENT;
+        let t0 = Instant::now();
+        let mut arena: Vec<u8> = Vec::new();
+        arena.resize(bytes, 1);
+        std::hint::black_box(&arena);
+        drop(arena);
+        println!(
+            "  prefault: {:.1} GiB touched in {:.1}s",
+            bytes as f64 / (1024.0 * 1024.0 * 1024.0),
+            t0.elapsed().as_secs_f64()
+        );
+    }
+
+    let sweep_reps = if opts.smoke { SMOKE_SWEEP_REPS } else { 1 };
     let mut sweep: Vec<SweepLane> = Vec::new();
     for &m in sweep_scales {
         let factor = (m * unit).div_ceil(base_total).max(1);
-        let tele_rep = replicate(&serial_tele, factor);
-        let hp_rep = replicate(&serial_hp, factor);
+        let mut best: Option<SweepLane> = None;
+        for _ in 0..sweep_reps {
+            let tele_batches = stride_split(replicate(&serial_tele, factor), SWEEP_BATCHES);
+            let hp_batches = stride_split(replicate(&serial_hp, factor), SWEEP_BATCHES);
 
-        let t0 = Instant::now();
-        let mut store = EventStore::new();
-        store.ingest_telescope(tele_rep);
-        store.ingest_honeypot(hp_rep);
-        let ingest_secs = t0.elapsed().as_secs_f64();
-        let peak_bytes = store.memory_bytes() as u64;
+            // Ingest: every interleaved batch, both sources alternating
+            // (as the pipeline's chunked handoff would deliver them),
+            // plus the consolidation that makes the store query-ready.
+            let t0 = Instant::now();
+            let mut store = EventStore::new();
+            store.set_consolidation_threads(cpus.clamp(1, 8));
+            for (t, h) in tele_batches.into_iter().zip(hp_batches) {
+                store.ingest_telescope(t);
+                store.ingest_honeypot(h);
+            }
+            store.consolidate();
+            let ingest_secs = t0.elapsed().as_secs_f64();
+            let peak_bytes = store.memory_bytes() as u64;
 
-        let t0 = Instant::now();
-        let combined = store.summary_combined();
-        let common = store.common_targets();
-        let fusion_secs = t0.elapsed().as_secs_f64();
-        assert_eq!(combined.events, base_total * factor, "sweep lost events");
-        assert!(common > 0 || serial_hp.is_empty(), "sweep degenerated");
+            // Fusion: stream every stored event through the incremental
+            // engine in global start order (a two-way merge of the
+            // sources, matching the live pipeline's arrival order), then
+            // read the fused aggregates. This prices real per-event
+            // fusion work — the store's O(1) bitset summaries are also
+            // read, and cross-checked against the streamed state.
+            let t0 = Instant::now();
+            let mut fusion = StreamingFusion::new(&geo, &asdb, opts.days + 2);
+            let mut t_it = store.telescope().iter().peekable();
+            let mut h_it = store.honeypot().iter().peekable();
+            loop {
+                let take_tele = match (t_it.peek(), h_it.peek()) {
+                    (Some(t), Some(h)) => t.when.start <= h.when.start,
+                    (Some(_), None) => true,
+                    (None, Some(_)) => false,
+                    (None, None) => break,
+                };
+                let e = if take_tele {
+                    t_it.next().expect("peeked")
+                } else {
+                    h_it.next().expect("peeked")
+                };
+                fusion.push(&e);
+            }
+            let snap = fusion.snapshot();
+            let combined = store.summary_combined();
+            let common = store.common_targets();
+            let fusion_secs = t0.elapsed().as_secs_f64();
+            assert_eq!(combined.events, base_total * factor, "sweep lost events");
+            assert_eq!(
+                snap.combined_events, combined.events,
+                "streaming fusion disagrees with the store on events"
+            );
+            assert_eq!(
+                snap.combined_targets, combined.targets,
+                "streaming fusion disagrees with the store on targets"
+            );
+            assert_eq!(
+                snap.common_targets, common,
+                "streaming fusion disagrees with the store on common targets"
+            );
+            assert!(common > 0 || serial_hp.is_empty(), "sweep degenerated");
 
-        let t0 = Instant::now();
-        let fw = Framework::new(&store, &geo, &asdb, opts.days)
-            .with_dns(&synth.zone, &synth.catalog)
-            .with_dps(&dps);
-        let t1 = Table1::build(&fw);
-        let t2 = Table2::build(&fw);
-        let t3 = Table3::build(&fw);
-        let report_secs = t0.elapsed().as_secs_f64();
-        assert_eq!(t1.rows[2].summary.events, combined.events);
-        let _ = (t2, t3);
+            let t0 = Instant::now();
+            let fw = Framework::new(&store, &geo, &asdb, opts.days)
+                .with_dns(&synth.zone, &synth.catalog)
+                .with_dps(&dps);
+            let t1 = Table1::build(&fw);
+            let t2 = Table2::build(&fw);
+            let t3 = Table3::build(&fw);
+            let report_secs = t0.elapsed().as_secs_f64();
+            assert_eq!(t1.rows[2].summary.events, combined.events);
+            let _ = (t2, t3);
 
-        sweep.push(SweepLane {
-            scale: m,
-            events: combined.events,
-            ingest_secs,
-            fusion_secs,
-            report_secs,
-            peak_bytes,
-        });
+            let lane = SweepLane {
+                scale: m,
+                events: combined.events,
+                ingest_secs,
+                fusion_secs,
+                report_secs,
+                peak_bytes,
+            };
+            best = Some(match best.take() {
+                None => lane,
+                Some(b) => SweepLane {
+                    ingest_secs: b.ingest_secs.min(lane.ingest_secs),
+                    fusion_secs: b.fusion_secs.min(lane.fusion_secs),
+                    report_secs: b.report_secs.min(lane.report_secs),
+                    ..lane
+                },
+            });
+        }
+        sweep.push(best.expect("at least one sweep rep"));
     }
 
     // ---- Emit JSON ------------------------------------------------------
-    let cpus = std::thread::available_parallelism().map_or(0, |n| n.get());
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": \"dosscope-bench-pipeline-v4\",");
+    let _ = writeln!(json, "  \"schema\": \"dosscope-bench-pipeline-v5\",");
     let _ = writeln!(json, "  \"scale\": {},", opts.scale);
     let _ = writeln!(json, "  \"days\": {},", opts.days);
     let _ = writeln!(json, "  \"smoke\": {},", opts.smoke);
@@ -743,14 +908,15 @@ fn main() {
         "  \"parallel_wall_speedup\": {{{}}},",
         wall_fields.join(", ")
     );
+    let _ = writeln!(json, "  \"sweep_batches\": {SWEEP_BATCHES},");
     json.push_str("  \"sweep\": [\n");
     for (i, l) in sweep.iter().enumerate() {
         let sep = if i + 1 == sweep.len() { "" } else { "," };
         let _ = writeln!(
             json,
-            "    {{\"scale\": {}, \"events\": {}, \"ingest_secs\": {:.6}, \"fusion_secs\": {:.6}, \"report_secs\": {:.6}, \"fusion_report_events_per_sec\": {:.1}, \"peak_bytes\": {}}}{}",
-            l.scale, l.events, l.ingest_secs, l.fusion_secs, l.report_secs,
-            l.fusion_report_events_per_sec(), l.peak_bytes, sep
+            "    {{\"scale\": {}, \"events\": {}, \"ingest_secs\": {:.6}, \"ingest_events_per_sec\": {:.1}, \"fusion_secs\": {:.6}, \"report_secs\": {:.6}, \"fusion_report_events_per_sec\": {:.1}, \"peak_bytes\": {}}}{}",
+            l.scale, l.events, l.ingest_secs, l.ingest_events_per_sec(), l.fusion_secs,
+            l.report_secs, l.fusion_report_events_per_sec(), l.peak_bytes, sep
         );
     }
     json.push_str("  ],\n");
@@ -800,12 +966,15 @@ fn main() {
             ratio(fleet1_secs, lane.pipelined_secs())
         );
     }
+    let sweep1_ingest = sweep.first().map_or(0.0, |l| l.ingest_secs);
     for l in &sweep {
         println!(
-            "  sweep scale={:<2}: {:>9} events  ingest {:.3}s  fusion {:.3}s  report {:.3}s  ({:.0} events/s fused+reported, {:.1} MiB store)",
+            "  sweep scale={:<3}: {:>10} events  ingest {:.3}s ({:.0} events/s, x{:.2} normalized vs scale 1)  fusion {:.3}s  report {:.3}s  ({:.0} events/s fused+reported, {:.1} MiB store)",
             l.scale,
             l.events,
             l.ingest_secs,
+            l.ingest_events_per_sec(),
+            ratio(l.ingest_secs / l.scale as f64, sweep1_ingest),
             l.fusion_secs,
             l.report_secs,
             l.fusion_report_events_per_sec(),
@@ -906,24 +1075,49 @@ fn main() {
                 ));
             }
         }
-        // The committed trajectory must prove the paper-scale × 20 run:
-        // a scale=20 sweep lane with ≥ 20 M events fused and reported
-        // in-memory, with real throughput and working-set numbers.
-        match c.sweep20 {
-            None => fail("committed sweep lacks a scale=20 lane"),
-            Some((events, throughput, peak_bytes)) => {
-                if (events as u64) < SWEEP_FULL_FLOOR {
-                    fail(&format!(
-                        "committed scale=20 sweep lane has only {events:.0} events (< {SWEEP_FULL_FLOOR})"
-                    ));
-                }
-                if throughput <= 0.0 || peak_bytes <= 0.0 {
-                    fail("committed scale=20 sweep lane has zero throughput or peak");
-                }
-            }
+        // The committed trajectory must prove the paper-scale × 100 run:
+        // a scale=100 sweep lane with ≥ 100 M events ingested, fused and
+        // reported in-memory, with real throughput and working-set
+        // numbers — and ingest must have stayed amortized-linear across
+        // the sweep (both gates are in-run ratios of the committed file,
+        // so they hold on any machine that regenerated it honestly).
+        let committed_lane = |scale: f64| {
+            c.sweep
+                .iter()
+                .find(|l| l.scale == scale)
+                .unwrap_or_else(|| fail(&format!("committed sweep lacks a scale={scale} lane")))
+        };
+        let c1 = committed_lane(1.0);
+        let c20 = committed_lane(20.0);
+        let c100 = committed_lane(100.0);
+        if (c100.events as u64) < SWEEP_FULL_FLOOR {
+            fail(&format!(
+                "committed scale=100 sweep lane has only {:.0} events (< {SWEEP_FULL_FLOOR})",
+                c100.events
+            ));
+        }
+        if c100.throughput <= 0.0 || c100.peak_bytes <= 0.0 {
+            fail("committed scale=100 sweep lane has zero throughput or peak");
+        }
+        if c1.ingest_secs <= 0.0 {
+            fail("committed scale=1 sweep lane has zero ingest wall");
+        }
+        let normalized = (c100.ingest_secs / 100.0) / c1.ingest_secs;
+        if normalized > SWEEP_NORMALIZED_INGEST_BUDGET {
+            fail(&format!(
+                "committed scale=100 ingest is not amortized-linear: {:.3}s/scale vs {:.3}s at scale 1 (x{normalized:.2}, budget x{SWEEP_NORMALIZED_INGEST_BUDGET})",
+                c100.ingest_secs / 100.0,
+                c1.ingest_secs
+            ));
+        }
+        if c20.ingest_secs > SWEEP_SCALE20_BUDGET * 20.0 * c1.ingest_secs {
+            fail(&format!(
+                "committed scale=20 ingest broke linearity: {:.3}s vs {:.3}s at scale 1 (budget x{SWEEP_SCALE20_BUDGET} of 20x)",
+                c20.ingest_secs, c1.ingest_secs
+            ));
         }
         // And the fresh run must have completed its own largest sweep
-        // lane (scale=5 at smoke — the CI gate — scale=20 on full runs).
+        // lane (scale=5 at smoke — the CI gate — scale=100 on full runs).
         let top = *sweep_scales.last().expect("sweep scales nonempty");
         let Some(lane) = sweep.iter().find(|l| l.scale == top) else {
             fail(&format!("fresh sweep lacks the scale={top} lane"));
@@ -933,6 +1127,26 @@ fn main() {
                 "fresh scale={top} sweep lane is degenerate: {} events, {} peak bytes",
                 lane.events, lane.peak_bytes
             ));
+        }
+        // Fresh smoke runs re-prove near-linear ingest at CI scale: the
+        // scale=5 lane did 5x the scale=1 work through the same
+        // interleaved-batch path.
+        if opts.smoke {
+            let lane1 = sweep
+                .iter()
+                .find(|l| l.scale == 1)
+                .unwrap_or_else(|| fail("fresh sweep lacks the scale=1 lane"));
+            let lane5 = sweep
+                .iter()
+                .find(|l| l.scale == 5)
+                .unwrap_or_else(|| fail("fresh sweep lacks the scale=5 lane"));
+            let r = ratio(lane5.ingest_secs, lane1.ingest_secs);
+            if r > SWEEP_SMOKE_INGEST_RATIO {
+                fail(&format!(
+                    "fresh smoke ingest is superlinear: scale=5 took {:.4}s vs {:.4}s at scale 1 (x{r:.2}, budget x{SWEEP_SMOKE_INGEST_RATIO})",
+                    lane5.ingest_secs, lane1.ingest_secs
+                ));
+            }
         }
         println!("  check against {path}: ok");
     }
@@ -1114,20 +1328,30 @@ struct Committed {
     /// Committed serial measurement walls (threads=1 telescope / fleet).
     tele1_wall: f64,
     fleet1_wall: f64,
-    /// The committed scale=20 sweep lane, when present:
-    /// (events, fusion+report events/s, peak bytes).
-    sweep20: Option<(f64, f64, f64)>,
+    /// Every committed sweep lane, for the scaling gates.
+    sweep: Vec<CommittedSweepLane>,
+}
+
+/// One sweep lane as read back from the committed file.
+struct CommittedSweepLane {
+    scale: f64,
+    events: f64,
+    ingest_secs: f64,
+    throughput: f64,
+    peak_bytes: f64,
 }
 
 /// Minimal structural validation + value extraction for the writer's own
 /// one-stage-per-line format. Not a general JSON parser on purpose: the
 /// file is produced by this binary, and a format drift should fail loudly.
-/// v4 added the store scale sweep the checker gates on, so older
-/// trajectories must be regenerated rather than silently accepted.
+/// v5 extended the sweep to scale 100 with interleaved-batch ingest and
+/// honest streaming-fusion walls, and the checker gates ingest linearity
+/// on the committed lanes — so older trajectories must be regenerated
+/// rather than silently accepted.
 fn parse_committed(text: &str) -> Result<Committed, String> {
-    if !text.contains("\"schema\": \"dosscope-bench-pipeline-v4\"") {
+    if !text.contains("\"schema\": \"dosscope-bench-pipeline-v5\"") {
         return Err(
-            "missing or unknown schema marker (expected dosscope-bench-pipeline-v4; regenerate with a full run)"
+            "missing or unknown schema marker (expected dosscope-bench-pipeline-v5; regenerate with a full run)"
                 .to_string(),
         );
     }
@@ -1207,21 +1431,22 @@ fn parse_committed(text: &str) -> Result<Committed, String> {
             })
             .ok_or_else(|| format!("missing {key} field"))
     };
-    // Sweep lanes are one object per line; pick out scale=20 when the
-    // committed run swept that far (full runs always do).
-    let sweep20 = text
+    // Sweep lanes are one object per line.
+    let sweep = text
         .lines()
         .filter(|l| l.contains("\"peak_bytes\""))
-        .find(|l| extract_num(l, "scale") == Some(20.0))
         .map(|l| {
-            Ok::<_, String>((
-                extract_num(l, "events").ok_or("sweep lane lacks events")?,
-                extract_num(l, "fusion_report_events_per_sec")
+            Ok::<_, String>(CommittedSweepLane {
+                scale: extract_num(l, "scale").ok_or("sweep lane lacks scale")?,
+                events: extract_num(l, "events").ok_or("sweep lane lacks events")?,
+                ingest_secs: extract_num(l, "ingest_secs")
+                    .ok_or("sweep lane lacks ingest_secs")?,
+                throughput: extract_num(l, "fusion_report_events_per_sec")
                     .ok_or("sweep lane lacks throughput")?,
-                extract_num(l, "peak_bytes").ok_or("sweep lane lacks peak_bytes")?,
-            ))
+                peak_bytes: extract_num(l, "peak_bytes").ok_or("sweep lane lacks peak_bytes")?,
+            })
         })
-        .transpose()?;
+        .collect::<Result<Vec<_>, _>>()?;
     Ok(Committed {
         speedup_tele: get("telescope")?,
         speedup_fleet: get("fleet")?,
@@ -1232,7 +1457,7 @@ fn parse_committed(text: &str) -> Result<Committed, String> {
         days: header("days")?,
         tele1_wall,
         fleet1_wall,
-        sweep20,
+        sweep,
     })
 }
 

@@ -92,6 +92,15 @@ impl ShardedEventStore {
         self.ingest_with(EventSource::Honeypot, events);
     }
 
+    /// Cap every shard's pending-run count (see
+    /// [`EventStore::set_run_threshold`]). A barrier, so it lands before
+    /// any later ingest.
+    pub fn set_run_threshold(&mut self, threshold: usize) {
+        self.pool
+            .barrier(move |s: &mut EventStore| s.set_run_threshold(threshold))
+            .expect("configure on a collapsed store");
+    }
+
     fn ingest_with(&mut self, source: EventSource, events: Vec<AttackEvent>) {
         let routed = route_events(Arc::new(events), self.shards);
         self.pool
@@ -146,6 +155,12 @@ impl ShardedEventStore {
     /// blocks (each already `(start, target)`-sorted), not a re-ingest of
     /// cloned event vectors.
     pub fn into_store(mut self) -> EventStore {
+        // Consolidate pending runs on the shard workers first: the
+        // per-shard merges run in parallel, and the snapshot merge then
+        // sees exactly one sorted block per shard.
+        self.pool
+            .barrier(|s: &mut EventStore| s.consolidate())
+            .expect("store collapsed twice");
         let shards = self
             .pool
             .shutdown()

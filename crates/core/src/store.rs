@@ -1,57 +1,84 @@
 //! Event ingestion and the per-source aggregates of Table 1, on a
-//! columnar struct-of-arrays store.
+//! columnar struct-of-arrays store with LSM-style sorted-run ingest.
 //!
 //! # Layout
 //!
-//! Events are *stored* as parallel column vectors, one block per source,
-//! kept sorted by `(start, target)` exactly like the old row store:
+//! Events are *stored* as parallel column vectors. Each source owns a
+//! consolidated `main` block sorted by `(start, target)` plus a stack of
+//! pending *sorted runs* — batches that arrived out of order and have
+//! not been merged yet:
 //!
 //! ```text
 //!                    shared Interner<Ipv4Addr> (victim ⇄ u32 id)
 //!                                   ▲        ▲
-//!            telescope block        │        │        honeypot block
-//!   row ──▶  victim  : Vec<u32> ────┘        └──── victim  : Vec<u32>
-//!            start   : Vec<u64>                    start   : Vec<u64>
-//!            end     : Vec<u64>                    end     : Vec<u64>
-//!            kind    : Vec<u8>   ◀─ vector tag ─▶  kind    : Vec<u8>
-//!            aux     : Vec<u32>  ◀─ port/#ports ─▶ aux     : Vec<u32>
-//!            packets : Vec<u64>                    packets : Vec<u64>
-//!            bytes   : Vec<u64>                    bytes   : Vec<u64>
-//!            intensity:Vec<f64>                    intensity:Vec<f64>
-//!            sources : Vec<u32>                    sources : Vec<u32>
-//!            + RunIndex (kind → ascending row ids) per block
+//!            telescope source       │        │        honeypot source
+//!   main ──▶ victim  : Vec<u32> ────┘        └──── main: (same columns)
+//!            start   : Vec<u64>                    runs: [sorted batch,
+//!            end     : Vec<u64>                           sorted batch,
+//!            kind    : Vec<u8>                            ...]
+//!            aux     : Vec<u32>
+//!            packets : Vec<u64>      each run is one ColumnBlock with
+//!            bytes   : Vec<u64>      the same nine columns, sorted by
+//!            intensity:Vec<f64>      (start, target) within itself
+//!            sources : Vec<u32>
+//!            + RunIndex (kind → ascending row ids) over `main` only
 //! ```
 //!
-//! The [`AttackVector`] sum type is flattened into a `(kind, aux)` pair
-//! (see `encode_vector`): a one-byte predicate key that the per-block
-//! [`RunIndex`] turns into posting lists, so "every NTP reflection
-//! event" or "every single-port TCP flood" is a sequential walk of a
-//! small ascending row-id run instead of a match over wide structs.
+//! # Sorted-run ingest
 //!
-//! Victims are interned to dense `u32` ids in a table *shared by both
-//! sources*, so the distinct-target aggregates are [`BitSet`]s over ids:
-//! Table 1's unique-target counts are popcounts maintained at ingest,
-//! and the telescope ∩ honeypot common-target count (the paper's 282 k)
-//! is a word-wise AND-popcount with no hashing. The /24 and /16 block
-//! counts are bitsets over the raw prefix spaces (2 MiB and 8 KiB).
+//! The old store merged *every* out-of-order batch into the full block —
+//! an O(total) column rewrite per batch that made ingest quadratic at
+//! tens of millions of rows. Ingest now costs O(batch log batch):
+//!
+//! * a batch is key-sorted (16-byte `(start, target, seq)` keys, so the
+//!   unstable sort is order-identical to the old stable sort and never
+//!   shuffles wide rows) and appended as a new run;
+//! * in-order batches — detector output, the common case — append
+//!   straight onto `main` (or the newest run) with zero extra cost;
+//! * a binary-counter policy merges the two newest runs while the older
+//!   one is no larger, so total merge traffic is O(n log n) and the run
+//!   count stays logarithmic in the batch count;
+//! * reads *consolidate lazily*: the first query (or an ingest that
+//!   drives the run count past [`EventStore::set_run_threshold`])
+//!   k-way-merges `main` and all runs through a [`LoserTree`] — the same
+//!   primitive the sharded snapshot merge uses — and rebuilds the kind
+//!   index. Large consolidations split on start-time pivots across a
+//!   transient [`ShardPool`] when
+//!   [`EventStore::set_consolidation_threads`] allows; the output is
+//!   byte-identical for every thread count because the ranges cut the
+//!   unique stable-merge sequence at lower-bound boundaries.
+//!
+//! Every observable order is *still* exactly the old store's
+//! `extend + stable sort_by_key(start, target)`: runs are merged
+//! oldest-first and the loser tree breaks key ties toward the older
+//! source, so existing rows win ties bit-for-bit.
+//!
+//! The [`AttackVector`] sum type is flattened into a `(kind, aux)` pair
+//! (see `encode_vector`): a one-byte predicate key that the per-source
+//! [`RunIndex`] turns into posting lists over `main`. Victims are
+//! interned to dense `u32` ids in a table *shared by both sources* —
+//! ids are assigned in per-batch sorted order at ingest (runs carry
+//! final ids, so consolidation never re-interns) — and the Table 1
+//! aggregates are [`BitSet`]s over those ids, maintained at ingest.
 //!
 //! # Boundaries
 //!
 //! The public API still speaks [`AttackEvent`]: ingest takes the same
 //! event vectors, and queries hand back [`EventsView`]s that decode rows
-//! on the fly. Ingest is merge-equivalent to the old
-//! `extend + stable sort_by_key(start, target)`: a staged batch is
-//! stably sorted, then either appended (the common case — detector
-//! output arrives in time order) or two-pointer-merged, with existing
-//! rows winning ties so the result is bit-for-bit what the old re-sort
-//! produced.
+//! on the fly. Because consolidation happens on first read, the column
+//! state sits behind a [`RwLock`]; views hold a read guard for their
+//! lifetime (ingest takes `&mut self`, so a live view implies the store
+//! is already consolidated and quiescent).
 
 use dosscope_types::{
-    AttackEvent, AttackVector, BitSet, EventSource, FastSet, Interner, PortSignature, Prefix16,
-    Prefix24, ReflectionProtocol, RunIndex, SimTime, TimeRange, TransportProto,
+    AttackEvent, AttackVector, BitSet, EventSource, FastSet, Interner, LoserTree, PortSignature,
+    Prefix16, Prefix24, ReflectionProtocol, RunIndex, ShardPool, SimTime, TimeRange,
+    TransportProto,
 };
+use parking_lot::{RwLock, RwLockReadGuard};
 use std::borrow::Borrow;
 use std::net::Ipv4Addr;
+use std::ops::Deref;
 
 /// Number of distinct `(vector kind)` codes: 4 transports × 3 port-signature
 /// classes for telescope floods, plus 8 reflection protocols.
@@ -59,6 +86,22 @@ pub(crate) const KINDS: usize = 12 + ReflectionProtocol::ALL.len();
 
 /// First kind code used by reflection vectors.
 pub(crate) const KIND_REFLECTION: u8 = 12;
+
+/// Default pending-run ceiling before an ingest forces consolidation.
+/// The binary-counter merge keeps the live run count logarithmic in the
+/// batch count, so this is a backstop for adversarial batch patterns,
+/// not the steady-state trigger (reads consolidate whatever is pending).
+const DEFAULT_RUN_THRESHOLD: usize = 16;
+
+/// Owned inputs shipped to the parallel-consolidation pool: the blocks
+/// to merge, their resolved merge-key addresses, and the per-slab
+/// `(lo, hi)` ranges of every block.
+type MergeJob = (Vec<ColumnBlock>, Vec<Vec<u32>>, Vec<Vec<(usize, usize)>>);
+
+/// Consolidations below this row count always run serially — the
+/// pivot-split fan-out costs a pool spin-up and a partial-block concat,
+/// which only pays for itself on large merges.
+const PARALLEL_CONSOLIDATE_FLOOR: usize = 1 << 16;
 
 /// Flatten an [`AttackVector`] into its `(kind, aux)` column encoding.
 ///
@@ -98,7 +141,8 @@ pub(crate) fn decode_vector(kind: u8, aux: u32) -> AttackVector {
     }
 }
 
-/// One source's parallel column vectors, sorted by `(start, victim)`.
+/// Parallel column vectors holding rows sorted by `(start, victim)` —
+/// either a source's consolidated block or one pending sorted run.
 #[derive(Debug, Default, Clone)]
 pub(crate) struct ColumnBlock {
     /// Interned victim id per row (resolve via the store's interner).
@@ -121,40 +165,13 @@ pub(crate) struct ColumnBlock {
     pub(crate) sources: Vec<u32>,
 }
 
-/// An encoded staging row, sortable by the ingest key.
-#[derive(Debug, Clone, Copy)]
-struct Row {
-    addr: u32,
-    start: u64,
-    end: u64,
-    kind: u8,
-    aux: u32,
-    packets: u64,
-    bytes: u64,
-    intensity: f64,
-    sources: u32,
-}
-
-impl Row {
-    fn encode(e: &AttackEvent) -> Row {
-        let (kind, aux) = encode_vector(e.vector);
-        Row {
-            addr: u32::from(e.target),
-            start: e.when.start.0,
-            end: e.when.end.0,
-            kind,
-            aux,
-            packets: e.packets,
-            bytes: e.bytes,
-            intensity: e.intensity_pps,
-            sources: e.distinct_sources,
-        }
-    }
-}
-
 impl ColumnBlock {
     pub(crate) fn len(&self) -> usize {
         self.victim.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.victim.is_empty()
     }
 
     /// Decode row `i` back into the boundary [`AttackEvent`] type.
@@ -170,16 +187,18 @@ impl ColumnBlock {
         }
     }
 
-    fn push(&mut self, row: Row, victim_id: u32) {
+    /// Encode `e` onto the end of the block.
+    fn push_event(&mut self, e: &AttackEvent, victim_id: u32) {
+        let (kind, aux) = encode_vector(e.vector);
         self.victim.push(victim_id);
-        self.start.push(row.start);
-        self.end.push(row.end);
-        self.kind.push(row.kind);
-        self.aux.push(row.aux);
-        self.packets.push(row.packets);
-        self.bytes.push(row.bytes);
-        self.intensity.push(row.intensity);
-        self.sources.push(row.sources);
+        self.start.push(e.when.start.0);
+        self.end.push(e.when.end.0);
+        self.kind.push(kind);
+        self.aux.push(aux);
+        self.packets.push(e.packets);
+        self.bytes.push(e.bytes);
+        self.intensity.push(e.intensity_pps);
+        self.sources.push(e.distinct_sources);
     }
 
     /// Copy row `i` of `other` onto the end of `self`.
@@ -193,6 +212,19 @@ impl ColumnBlock {
         self.bytes.push(other.bytes[i]);
         self.intensity.push(other.intensity[i]);
         self.sources.push(other.sources[i]);
+    }
+
+    /// Append every row of `other` (already in order) onto `self`.
+    fn append_block(&mut self, other: &ColumnBlock) {
+        self.victim.extend_from_slice(&other.victim);
+        self.start.extend_from_slice(&other.start);
+        self.end.extend_from_slice(&other.end);
+        self.kind.extend_from_slice(&other.kind);
+        self.aux.extend_from_slice(&other.aux);
+        self.packets.extend_from_slice(&other.packets);
+        self.bytes.extend_from_slice(&other.bytes);
+        self.intensity.extend_from_slice(&other.intensity);
+        self.sources.extend_from_slice(&other.sources);
     }
 
     fn reserve(&mut self, additional: usize) {
@@ -218,6 +250,12 @@ impl ColumnBlock {
             + self.intensity.capacity() * 8
             + self.sources.capacity() * 4
     }
+}
+
+/// The sort/merge key of the last row of `block`, or `None` when empty.
+fn last_key(block: &ColumnBlock, victims: &Interner<Ipv4Addr>) -> Option<(u64, u32)> {
+    let n = block.len();
+    (n > 0).then(|| (block.start[n - 1], u32::from(victims.resolve(block.victim[n - 1]))))
 }
 
 /// Per-source incremental aggregates, maintained at ingest so every
@@ -254,129 +292,394 @@ pub struct SourceSummary {
     pub blocks16: u64,
 }
 
-/// The ingested event sets as a columnar, time-sorted store (see the
-/// module docs for the layout).
+/// One source's column state: the consolidated block, the pending sorted
+/// runs (oldest first), and the kind index over the consolidated block.
 #[derive(Debug, Default)]
+struct SourceCols {
+    main: ColumnBlock,
+    runs: Vec<ColumnBlock>,
+    index: RunIndex,
+}
+
+impl SourceCols {
+    /// Total rows including pending runs.
+    fn len(&self) -> usize {
+        self.main.len() + self.runs.iter().map(ColumnBlock::len).sum::<usize>()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.main.memory_bytes()
+            + self.runs.iter().map(ColumnBlock::memory_bytes).sum::<usize>()
+            + self.index.memory_bytes()
+    }
+}
+
+/// The ingested event sets as a columnar, time-sorted store (see the
+/// module docs for the sorted-run layout and consolidation lifecycle).
+#[derive(Debug)]
 pub struct EventStore {
     victims: Interner<Ipv4Addr>,
-    tele: ColumnBlock,
-    hp: ColumnBlock,
-    tele_index: RunIndex,
-    hp_index: RunIndex,
+    tele: RwLock<SourceCols>,
+    hp: RwLock<SourceCols>,
     tele_stats: SourceStats,
     hp_stats: SourceStats,
+    run_threshold: usize,
+    consolidate_threads: usize,
+}
+
+impl Default for EventStore {
+    fn default() -> EventStore {
+        EventStore::new()
+    }
 }
 
 impl EventStore {
     /// Empty store.
     pub fn new() -> EventStore {
+        // Register the store's run-lifecycle instruments up front so a
+        // run that never consolidates still exports them (as zeros).
+        dosscope_obs::counter!("store.rows");
+        dosscope_obs::counter!("store.consolidations");
+        dosscope_obs::counter!("store.consolidation_rows");
         EventStore {
-            tele_index: RunIndex::new(KINDS),
-            hp_index: RunIndex::new(KINDS),
-            ..EventStore::default()
+            victims: Interner::new(),
+            tele: RwLock::new(SourceCols {
+                index: RunIndex::new(KINDS),
+                ..SourceCols::default()
+            }),
+            hp: RwLock::new(SourceCols {
+                index: RunIndex::new(KINDS),
+                ..SourceCols::default()
+            }),
+            tele_stats: SourceStats::default(),
+            hp_stats: SourceStats::default(),
+            run_threshold: DEFAULT_RUN_THRESHOLD,
+            consolidate_threads: 1,
         }
     }
 
-    /// Ingest the telescope detector's events (any order; merge-sorted).
-    pub fn ingest_telescope(&mut self, events: Vec<AttackEvent>) {
-        debug_assert!(events.iter().all(|e| e.source() == EventSource::Telescope));
-        self.ingest_rows(EventSource::Telescope, encode_batch(events.iter()));
+    /// Cap the pending-run count: an ingest that leaves more than
+    /// `threshold` runs consolidates immediately instead of lazily
+    /// (0/1 both mean "consolidate after every out-of-order batch").
+    pub fn set_run_threshold(&mut self, threshold: usize) {
+        self.run_threshold = threshold.max(1);
     }
 
-    /// Ingest the honeypot fleet's events (any order; merge-sorted).
+    /// Let consolidations of at least ~64 k rows fan out over `threads`
+    /// pivot-split range merges (1 = always serial, the default). The
+    /// merged bytes are identical for every thread count.
+    pub fn set_consolidation_threads(&mut self, threads: usize) {
+        self.consolidate_threads = threads.max(1);
+    }
+
+    /// Number of pending (unconsolidated) sorted runs across sources.
+    pub fn pending_runs(&self) -> usize {
+        self.tele.read().runs.len() + self.hp.read().runs.len()
+    }
+
+    /// Ingest the telescope detector's events (any order; run-appended).
+    pub fn ingest_telescope(&mut self, events: Vec<AttackEvent>) {
+        debug_assert!(events.iter().all(|e| e.source() == EventSource::Telescope));
+        self.ingest_batch(EventSource::Telescope, &events);
+    }
+
+    /// Ingest the honeypot fleet's events (any order; run-appended).
     pub fn ingest_honeypot(&mut self, events: Vec<AttackEvent>) {
         debug_assert!(events.iter().all(|e| e.source() == EventSource::Honeypot));
-        self.ingest_rows(EventSource::Honeypot, encode_batch(events.iter()));
+        self.ingest_batch(EventSource::Honeypot, &events);
     }
 
     /// Ingest from borrowed events without ever cloning an
-    /// [`AttackEvent`]: rows are encoded straight into the staging
-    /// columns. This is the sharded pipeline's zero-copy handoff.
+    /// [`AttackEvent`]: rows are encoded straight into the columns.
+    /// This is the sharded pipeline's zero-copy handoff.
     pub fn ingest_refs<'a>(
         &mut self,
         source: EventSource,
         events: impl Iterator<Item = &'a AttackEvent>,
     ) {
-        self.ingest_rows(source, encode_batch(events));
+        let refs: Vec<&AttackEvent> = events.collect();
+        self.ingest_batch(source, &refs);
     }
 
-    fn ingest_rows(&mut self, source: EventSource, mut staging: Vec<Row>) {
-        if staging.is_empty() {
+    fn ingest_batch<E: Borrow<AttackEvent>>(&mut self, source: EventSource, events: &[E]) {
+        if events.is_empty() {
             return;
         }
-        // The old store re-sorted `existing ⧺ batch` with a stable sort:
-        // equivalent to stably sorting the batch alone, then merging with
-        // existing rows winning key ties.
-        staging.sort_by_key(|r| (r.start, r.addr));
+        let n = events.len();
+        dosscope_obs::counter!("store.rows").add(n as u64);
 
-        let (block, index, stats) = match source {
-            EventSource::Telescope => (&mut self.tele, &mut self.tele_index, &mut self.tele_stats),
-            EventSource::Honeypot => (&mut self.hp, &mut self.hp_index, &mut self.hp_stats),
-        };
-
-        // Aggregates are order-independent and insert-only: admit the
-        // staged rows up front, whatever merge path runs below.
-        for row in &staging {
-            let addr = Ipv4Addr::from(row.addr);
-            let id = self.victims.intern(addr);
-            stats.admit(row.addr, id);
+        // Sort compact 16-byte (start, target, seq) keys instead of wide
+        // rows: seq makes the unstable sort order-identical to the old
+        // stable sort on (start, target), and the key vector is the only
+        // fresh allocation the sort touches at 100M-row scale.
+        let mut keys: Vec<(u64, u32, u32)> = events
+            .iter()
+            .enumerate()
+            .map(|(i, e)| {
+                let e = e.borrow();
+                (e.when.start.0, u32::from(e.target), i as u32)
+            })
+            .collect();
+        if !keys.is_sorted() {
+            keys.sort_unstable();
         }
+        let first = (keys[0].0, keys[0].1);
 
-        let n = block.len();
-        let append_ok = n == 0 || {
-            let last = (block.start[n - 1], resolve_addr(&self.victims, block.victim[n - 1]));
-            (staging[0].start, staging[0].addr) >= last
+        let (cols, stats) = match source {
+            EventSource::Telescope => (self.tele.get_mut(), &mut self.tele_stats),
+            EventSource::Honeypot => (self.hp.get_mut(), &mut self.hp_stats),
         };
 
-        if append_ok {
-            block.reserve(staging.len());
-            for row in staging {
-                let id = self.victims.intern(Ipv4Addr::from(row.addr));
-                index.push(row.kind, block.len() as u32);
-                block.push(row, id);
+        // Fast path: a batch that starts at or after the newest stored
+        // key appends in place — onto `main` while no runs are pending
+        // (today's common case: detector output arrives in time order),
+        // or onto the newest run. `<=` keeps the stable tie order:
+        // already-stored rows sort first on equal keys either way.
+        if cols.runs.is_empty() && last_key(&cols.main, &self.victims).is_none_or(|k| k <= first)
+        {
+            cols.main.reserve(n);
+            for &(_, addr, i) in &keys {
+                let id = self.victims.intern(Ipv4Addr::from(addr));
+                stats.admit(addr, id);
+                let row = cols.main.len() as u32;
+                cols.main.push_event(events[i as usize].borrow(), id);
+                cols.index.push(cols.main.kind[row as usize], row);
             }
-            return;
+        } else {
+            let onto_newest = cols
+                .runs
+                .last()
+                .is_some_and(|r| last_key(r, &self.victims).is_none_or(|k| k <= first));
+            if !onto_newest {
+                cols.runs.push(ColumnBlock::default());
+            }
+            let run = cols.runs.last_mut().expect("a run was just ensured");
+            run.reserve(n);
+            for &(_, addr, i) in &keys {
+                let id = self.victims.intern(Ipv4Addr::from(addr));
+                stats.admit(addr, id);
+                run.push_event(events[i as usize].borrow(), id);
+            }
+            // Binary-counter run maintenance: merge the two newest runs
+            // while the older is no larger. Every row is merged at most
+            // log2(batches) times, so total ingest traffic is
+            // O(n log n) even for single-event batches, and the live
+            // run count stays logarithmic.
+            while cols.runs.len() >= 2
+                && cols.runs[cols.runs.len() - 2].len() <= cols.runs[cols.runs.len() - 1].len()
+            {
+                let newer = cols.runs.pop().expect("len checked");
+                let older = cols.runs.pop().expect("len checked");
+                let parts = [&older, &newer];
+                cols.runs.push(Self::merge_blocks(&parts, &self.victims, 1));
+            }
+            if cols.runs.len() >= self.run_threshold {
+                Self::consolidate_cols(cols, &self.victims, self.consolidate_threads);
+            }
         }
 
-        // Two-pointer merge into fresh columns; existing rows win ties.
+        dosscope_obs::gauge!("store.victims").set(self.victims.len() as u64);
+        let pending = self.tele.get_mut().runs.len() + self.hp.get_mut().runs.len();
+        dosscope_obs::gauge!("store.runs").set(pending as u64);
+    }
+
+    /// Consolidate any pending runs of `lock` into its `main` block.
+    ///
+    /// Reads call this before taking a view. Re-entrancy is safe by
+    /// construction: a held view guard implies this already ran (views
+    /// are only handed out consolidated) and ingest requires `&mut
+    /// self`, so the read-check below can never race a run append.
+    fn ensure(&self, lock: &RwLock<SourceCols>) {
+        if lock.read().runs.is_empty() {
+            return;
+        }
+        let mut cols = lock.write();
+        // Re-check under the write lock: another reader may have
+        // consolidated between our read probe and the write acquire.
+        Self::consolidate_cols(&mut cols, &self.victims, self.consolidate_threads);
+    }
+
+    /// Force both sources' pending runs into their consolidated blocks
+    /// (reads do this lazily; the bench calls it to time ingest
+    /// end-to-end, and the sharded store calls it per shard worker so
+    /// consolidation parallelizes before the snapshot merge).
+    pub fn consolidate(&self) {
+        self.ensure(&self.tele);
+        self.ensure(&self.hp);
+    }
+
+    fn consolidate_cols(cols: &mut SourceCols, victims: &Interner<Ipv4Addr>, threads: usize) {
+        if cols.runs.is_empty() {
+            return;
+        }
+        let total = cols.len();
+        dosscope_obs::counter!("store.consolidations").inc();
+        dosscope_obs::counter!("store.consolidation_rows").add(total as u64);
+        if cols.main.is_empty() && cols.runs.len() == 1 {
+            // Single-run adoption: the run becomes `main` by move — the
+            // single-out-of-order-batch case costs no row copies.
+            cols.main = cols.runs.pop().expect("len checked");
+        } else {
+            let parts: Vec<&ColumnBlock> = std::iter::once(&cols.main)
+                .filter(|b| !b.is_empty())
+                .chain(cols.runs.iter())
+                .collect();
+            cols.main = Self::merge_blocks(&parts, victims, threads);
+            cols.runs.clear();
+        }
+        // The kind index only covers consolidated rows; rebuild it over
+        // the merged block.
+        cols.index.clear();
+        for (row, &kind) in cols.main.kind.iter().enumerate() {
+            cols.index.push(kind, row as u32);
+        }
+    }
+
+    /// k-way merge sorted blocks (oldest first — ties resolve toward the
+    /// lower part index, i.e. earlier-ingested rows) into one block.
+    /// Victim ids are already final, so rows copy without re-interning.
+    fn merge_blocks(
+        parts: &[&ColumnBlock],
+        victims: &Interner<Ipv4Addr>,
+        threads: usize,
+    ) -> ColumnBlock {
+        // Resolve each part's merge keys once: workers (and the hot
+        // serial loop) compare plain (u64, u32) pairs, never the
+        // interner.
+        let addrs: Vec<Vec<u32>> = parts
+            .iter()
+            .map(|b| {
+                b.victim
+                    .iter()
+                    .map(|&id| u32::from(victims.resolve(id)))
+                    .collect()
+            })
+            .collect();
+        let total: usize = parts.iter().map(|b| b.len()).sum();
+        if threads > 1 && total >= PARALLEL_CONSOLIDATE_FLOOR {
+            Self::merge_blocks_parallel(parts, &addrs, threads)
+        } else {
+            let ranges: Vec<(usize, usize)> = parts.iter().map(|b| (0, b.len())).collect();
+            Self::merge_range(parts, &addrs, &ranges, total)
+        }
+    }
+
+    /// Merge one aligned key range of every part via the loser tree.
+    fn merge_range(
+        parts: &[&ColumnBlock],
+        addrs: &[Vec<u32>],
+        ranges: &[(usize, usize)],
+        total: usize,
+    ) -> ColumnBlock {
+        let mut out = ColumnBlock::default();
+        out.reserve(total);
+        let mut cursors: Vec<usize> = ranges.iter().map(|&(lo, _)| lo).collect();
+        let heads: Vec<Option<(u64, u32)>> = parts
+            .iter()
+            .zip(ranges)
+            .enumerate()
+            .map(|(k, (b, &(lo, hi)))| (lo < hi).then(|| (b.start[lo], addrs[k][lo])))
+            .collect();
+        let mut tree = LoserTree::new(heads);
+        while let Some(k) = tree.winner() {
+            let i = cursors[k];
+            out.push_from(parts[k], i, parts[k].victim[i]);
+            cursors[k] += 1;
+            let next = (cursors[k] < ranges[k].1)
+                .then(|| (parts[k].start[cursors[k]], addrs[k][cursors[k]]));
+            tree.replace(k, next);
+        }
+        out
+    }
+
+    /// Pivot-split parallel consolidation: cut the key space at sampled
+    /// start-time pivots, merge each slab on a transient [`ShardPool`]
+    /// worker, concatenate in pivot order. Every cut is a lower bound
+    /// (`key < pivot` goes left), so equal keys stay in one slab and the
+    /// concatenation reproduces the serial stable merge byte-for-byte
+    /// regardless of thread count.
+    fn merge_blocks_parallel(
+        parts: &[&ColumnBlock],
+        addrs: &[Vec<u32>],
+        threads: usize,
+    ) -> ColumnBlock {
+        let total: usize = parts.iter().map(|b| b.len()).sum();
+        let slabs = threads.min(total.max(1));
+        // Sample pivots from the largest part — the best single proxy
+        // for the merged key distribution.
+        let largest = (0..parts.len())
+            .max_by_key(|&k| parts[k].len())
+            .expect("parts is non-empty");
+        let pivots: Vec<(u64, u32)> = (1..slabs)
+            .map(|j| {
+                let i = j * parts[largest].len() / slabs;
+                (parts[largest].start[i], addrs[largest][i])
+            })
+            .collect();
+        // Per part: slab boundaries via lower-bound partition points.
+        let ranges: Vec<Vec<(usize, usize)>> = (0..slabs)
+            .map(|s| {
+                parts
+                    .iter()
+                    .enumerate()
+                    .map(|(k, b)| {
+                        let lo = match s {
+                            0 => 0,
+                            _ => lower_bound(b, &addrs[k], pivots[s - 1]),
+                        };
+                        let hi = match pivots.get(s) {
+                            Some(&p) => lower_bound(b, &addrs[k], p),
+                            None => b.len(),
+                        };
+                        (lo, hi)
+                    })
+                    .collect()
+            })
+            .collect();
+        // Ship owned copies of the inputs to the 'static pool workers.
+        // (Clones are column memcpys; the alternative — scoped borrows —
+        // is not something the long-lived ShardPool can express.)
+        let owned: Vec<ColumnBlock> = parts.iter().map(|&b| b.clone()).collect();
+        let job: MergeJob = (owned, addrs.to_vec(), ranges);
+        let mut pool: ShardPool<MergeJob, ColumnBlock, ColumnBlock> = ShardPool::new(
+            "consolidate",
+            slabs,
+            slabs,
+            1,
+            |_| ColumnBlock::default(),
+            |out, slab, _slabs, job: &MergeJob| {
+                let (parts, addrs, ranges) = job;
+                let refs: Vec<&ColumnBlock> = parts.iter().collect();
+                let span: usize = ranges[slab].iter().map(|&(lo, hi)| hi - lo).sum();
+                *out = EventStore::merge_range(&refs, addrs, &ranges[slab], span);
+            },
+            |out| out,
+        );
+        pool.dispatch(job).expect("fresh pool accepts work");
+        let partials = pool.shutdown().expect("fresh pool shuts down once");
         let mut merged = ColumnBlock::default();
-        merged.reserve(n + staging.len());
-        let (mut i, mut j) = (0usize, 0usize);
-        while i < n || j < staging.len() {
-            let take_existing = j >= staging.len()
-                || (i < n && {
-                    let ek = (block.start[i], resolve_addr(&self.victims, block.victim[i]));
-                    ek <= (staging[j].start, staging[j].addr)
-                });
-            if take_existing {
-                let id = block.victim[i];
-                merged.push_from(block, i, id);
-                i += 1;
-            } else {
-                let id = self.victims.intern(Ipv4Addr::from(staging[j].addr));
-                merged.push(staging[j], id);
-                j += 1;
-            }
+        merged.reserve(total);
+        for part in &partials {
+            merged.append_block(part);
         }
-        *block = merged;
-        index.clear();
-        for (row, &kind) in block.kind.iter().enumerate() {
-            index.push(kind, row as u32);
-        }
+        merged
     }
 
-    /// Telescope events, sorted by start.
+    /// Telescope events, sorted by start (consolidates pending runs).
     pub fn telescope(&self) -> EventsView<'_> {
-        EventsView {
-            block: &self.tele,
-            victims: &self.victims,
-        }
+        self.view_of(&self.tele)
     }
 
-    /// Honeypot events, sorted by start.
+    /// Honeypot events, sorted by start (consolidates pending runs).
     pub fn honeypot(&self) -> EventsView<'_> {
+        self.view_of(&self.hp)
+    }
+
+    fn view_of<'a>(&'a self, lock: &'a RwLock<SourceCols>) -> EventsView<'a> {
+        self.ensure(lock);
         EventsView {
-            block: &self.hp,
+            lock,
+            cols: lock.read(),
             victims: &self.victims,
         }
     }
@@ -394,9 +697,9 @@ impl EventStore {
         }
     }
 
-    /// Total event count.
+    /// Total event count (pending runs included).
     pub fn len(&self) -> usize {
-        self.tele.len() + self.hp.len()
+        self.tele.read().len() + self.hp.read().len()
     }
 
     /// True when nothing was ingested.
@@ -426,14 +729,15 @@ impl EventStore {
         }
     }
 
-    /// The Table 1 aggregate for one source — O(1), maintained at ingest.
+    /// The Table 1 aggregate for one source — O(1), maintained at
+    /// ingest, and valid whether or not runs are consolidated.
     pub fn summary(&self, source: EventSource) -> SourceSummary {
-        let (block, stats) = match source {
+        let (lock, stats) = match source {
             EventSource::Telescope => (&self.tele, &self.tele_stats),
             EventSource::Honeypot => (&self.hp, &self.hp_stats),
         };
         SourceSummary {
-            events: block.len() as u64,
+            events: lock.read().len() as u64,
             targets: stats.victims.len() as u64,
             blocks24: stats.blocks24.len() as u64,
             blocks16: stats.blocks16.len() as u64,
@@ -486,36 +790,36 @@ impl EventStore {
         let Some(id) = self.victims.get(target) else {
             return Vec::new();
         };
+        let tele = self.block(EventSource::Telescope);
+        let hp = self.block(EventSource::Honeypot);
         let collect = |block: &ColumnBlock| -> Vec<usize> {
             (0..block.len()).filter(|&i| block.victim[i] == id).collect()
         };
-        let t_rows = collect(&self.tele);
-        let h_rows = collect(&self.hp);
+        let t_rows = collect(&tele);
+        let h_rows = collect(&hp);
         let mut out = Vec::with_capacity(t_rows.len() + h_rows.len());
         let (mut i, mut j) = (0usize, 0usize);
         while i < t_rows.len() || j < h_rows.len() {
             let take_tele = j >= h_rows.len()
-                || (i < t_rows.len() && self.tele.start[t_rows[i]] <= self.hp.start[h_rows[j]]);
+                || (i < t_rows.len() && tele.start[t_rows[i]] <= hp.start[h_rows[j]]);
             if take_tele {
-                out.push(self.tele.event(t_rows[i], &self.victims));
+                out.push(tele.event(t_rows[i], &self.victims));
                 i += 1;
             } else {
-                out.push(self.hp.event(h_rows[j], &self.victims));
+                out.push(hp.event(h_rows[j], &self.victims));
                 j += 1;
             }
         }
         out
     }
 
-    /// Approximate heap footprint of the store in bytes: column vectors,
-    /// interner, indexes and aggregate bitsets. This is the "peak
-    /// working set" number the scale sweep records.
+    /// Approximate heap footprint of the store in bytes: column vectors
+    /// (consolidated and pending runs), interner, indexes and aggregate
+    /// bitsets. This is the "peak working set" the scale sweep records.
     pub fn memory_bytes(&self) -> usize {
-        self.tele.memory_bytes()
-            + self.hp.memory_bytes()
+        self.tele.read().memory_bytes()
+            + self.hp.read().memory_bytes()
             + self.victims.memory_bytes()
-            + self.tele_index.memory_bytes()
-            + self.hp_index.memory_bytes()
             + self.tele_stats.victims.memory_bytes()
             + self.tele_stats.blocks24.memory_bytes()
             + self.tele_stats.blocks16.memory_bytes()
@@ -524,9 +828,9 @@ impl EventStore {
             + self.hp_stats.blocks16.memory_bytes()
     }
 
-    /// Merge per-shard stores into one canonical store by a k-way walk
-    /// over the shards' column blocks — no event struct is decoded or
-    /// cloned on the way.
+    /// Merge per-shard stores into one canonical store by a loser-tree
+    /// walk over the shards' consolidated column blocks — no event
+    /// struct is decoded or cloned on the way.
     ///
     /// Rows are taken in ascending `(start, victim)` order. Equal keys
     /// can never sit in different shards (a victim belongs to exactly
@@ -540,56 +844,66 @@ impl EventStore {
     }
 
     fn absorb(&mut self, shards: &[EventStore], source: EventSource) {
-        let parts: Vec<(&ColumnBlock, &Interner<Ipv4Addr>)> = shards
+        // `block` consolidates each shard before the walk, so the merge
+        // sees exactly one sorted block per shard.
+        let parts: Vec<BlockRef<'_>> = shards.iter().map(|s| s.block(source)).collect();
+        let addrs: Vec<Vec<u32>> = shards
             .iter()
-            .map(|s| (s.block(source), &s.victims))
+            .zip(&parts)
+            .map(|(s, b)| {
+                b.victim
+                    .iter()
+                    .map(|&id| u32::from(s.victims.resolve(id)))
+                    .collect()
+            })
             .collect();
-        let total: usize = parts.iter().map(|(b, _)| b.len()).sum();
-        let (block, index, stats) = match source {
-            EventSource::Telescope => (&mut self.tele, &mut self.tele_index, &mut self.tele_stats),
-            EventSource::Honeypot => (&mut self.hp, &mut self.hp_index, &mut self.hp_stats),
+        let total: usize = parts.iter().map(|b| b.len()).sum();
+        let (cols, stats) = match source {
+            EventSource::Telescope => (self.tele.get_mut(), &mut self.tele_stats),
+            EventSource::Honeypot => (self.hp.get_mut(), &mut self.hp_stats),
         };
-        block.reserve(total);
+        cols.main.reserve(total);
         let mut cursors = vec![0usize; parts.len()];
-        loop {
-            let mut best: Option<(u64, u32, usize)> = None;
-            for (k, (b, ids)) in parts.iter().enumerate() {
-                let i = cursors[k];
-                if i >= b.len() {
-                    continue;
-                }
-                let key = (b.start[i], resolve_addr(ids, b.victim[i]), k);
-                if best.is_none_or(|(s, a, _)| (key.0, key.1) < (s, a)) {
-                    best = Some(key);
-                }
-            }
-            let Some((_, addr, k)) = best else {
-                break;
-            };
-            let (b, _) = parts[k];
+        let heads: Vec<Option<(u64, u32)>> = parts
+            .iter()
+            .enumerate()
+            .map(|(k, b)| (!b.is_empty()).then(|| (b.start[0], addrs[k][0])))
+            .collect();
+        let mut tree = LoserTree::new(heads);
+        while let Some(k) = tree.winner() {
             let i = cursors[k];
             cursors[k] += 1;
+            let addr = addrs[k][i];
             let id = self.victims.intern(Ipv4Addr::from(addr));
             stats.admit(addr, id);
-            index.push(b.kind[i], block.len() as u32);
-            block.push_from(b, i, id);
+            cols.index.push(parts[k].kind[i], cols.main.len() as u32);
+            cols.main.push_from(&parts[k], i, id);
+            let next = (cursors[k] < parts[k].len())
+                .then(|| (parts[k].start[cursors[k]], addrs[k][cursors[k]]));
+            tree.replace(k, next);
         }
     }
 
-    /// The column block of one source (crate-internal scan surface).
-    pub(crate) fn block(&self, source: EventSource) -> &ColumnBlock {
-        match source {
+    /// The consolidated column block of one source (crate-internal scan
+    /// surface; consolidates pending runs first).
+    pub(crate) fn block(&self, source: EventSource) -> BlockRef<'_> {
+        let lock = match source {
             EventSource::Telescope => &self.tele,
             EventSource::Honeypot => &self.hp,
-        }
+        };
+        self.ensure(lock);
+        BlockRef(lock.read())
     }
 
-    /// The kind-predicate index of one source.
-    pub(crate) fn kind_index(&self, source: EventSource) -> &RunIndex {
-        match source {
-            EventSource::Telescope => &self.tele_index,
-            EventSource::Honeypot => &self.hp_index,
-        }
+    /// The kind-predicate index of one source (consolidates first — the
+    /// index only covers consolidated rows).
+    pub(crate) fn kind_index(&self, source: EventSource) -> IndexRef<'_> {
+        let lock = match source {
+            EventSource::Telescope => &self.tele,
+            EventSource::Honeypot => &self.hp,
+        };
+        self.ensure(lock);
+        IndexRef(lock.read())
     }
 
     /// The shared victim interner.
@@ -598,12 +912,26 @@ impl EventStore {
     }
 }
 
-fn resolve_addr(victims: &Interner<Ipv4Addr>, id: u32) -> u32 {
-    u32::from(victims.resolve(id))
+/// Guard handing out one source's consolidated [`ColumnBlock`].
+pub(crate) struct BlockRef<'a>(RwLockReadGuard<'a, SourceCols>);
+
+impl Deref for BlockRef<'_> {
+    type Target = ColumnBlock;
+
+    fn deref(&self) -> &ColumnBlock {
+        &self.0.main
+    }
 }
 
-fn encode_batch<'a>(events: impl Iterator<Item = &'a AttackEvent>) -> Vec<Row> {
-    events.map(Row::encode).collect()
+/// Guard handing out one source's kind-predicate [`RunIndex`].
+pub(crate) struct IndexRef<'a>(RwLockReadGuard<'a, SourceCols>);
+
+impl Deref for IndexRef<'_> {
+    type Target = RunIndex;
+
+    fn deref(&self) -> &RunIndex {
+        &self.0.index
+    }
 }
 
 /// A borrowed, zero-copy view of one source's events in store order.
@@ -614,34 +942,48 @@ fn encode_batch<'a>(events: impl Iterator<Item = &'a AttackEvent>) -> Vec<Row> {
 /// dropped `&`/`.cloned()`. Equality against other views and against
 /// event slices compares decoded rows, which keeps the serial-vs-sharded
 /// equivalence assertions byte-for-byte meaningful.
-#[derive(Clone, Copy)]
+///
+/// A view pins the source consolidated: it holds a read guard on the
+/// column state (cloning a view re-acquires a guard), and ingest takes
+/// `&mut self`, so the rows a view exposes can never shift under it.
 pub struct EventsView<'a> {
-    block: &'a ColumnBlock,
+    lock: &'a RwLock<SourceCols>,
+    cols: RwLockReadGuard<'a, SourceCols>,
     victims: &'a Interner<Ipv4Addr>,
+}
+
+impl Clone for EventsView<'_> {
+    fn clone(&self) -> Self {
+        EventsView {
+            lock: self.lock,
+            cols: self.lock.read(),
+            victims: self.victims,
+        }
+    }
 }
 
 impl<'a> EventsView<'a> {
     /// Number of events in the view.
     pub fn len(&self) -> usize {
-        self.block.len()
+        self.cols.main.len()
     }
 
     /// Whether the view is empty.
     pub fn is_empty(&self) -> bool {
-        self.block.len() == 0
+        self.len() == 0
     }
 
     /// Decode the event at row `i` (panics when out of bounds).
     pub fn get(&self, i: usize) -> AttackEvent {
-        self.block.event(i, self.victims)
+        self.cols.main.event(i, self.victims)
     }
 
     /// Iterate the events in store order, decoding each row.
     pub fn iter(&self) -> EventsIter<'a> {
         EventsIter {
-            view: *self,
+            back: self.len(),
+            view: self.clone(),
             next: 0,
-            back: self.block.len(),
         }
     }
 
@@ -735,6 +1077,22 @@ impl std::fmt::Debug for EventsView<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_list().entries(self.iter()).finish()
     }
+}
+
+/// Lower bound of `pivot` in `block`'s `(start, addr)` key sequence:
+/// the first row whose key is `>= pivot`.
+fn lower_bound(block: &ColumnBlock, addrs: &[u32], pivot: (u64, u32)) -> usize {
+    let mut lo = 0usize;
+    let mut hi = block.len();
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if (block.start[mid], addrs[mid]) < pivot {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
 }
 
 #[cfg(test)]
@@ -854,8 +1212,9 @@ mod tests {
 
     #[test]
     fn out_of_order_ingest_matches_row_semantics() {
-        // Second batch starts before the first ends: forces the merge
-        // path, which must reproduce the old extend-and-stable-sort.
+        // Second batch starts before the first ends: lands as a pending
+        // run, and the lazy consolidation must reproduce the old
+        // extend-and-stable-sort byte-for-byte.
         let mut s = EventStore::new();
         let b1 = vec![tele("10.0.0.9", 300), tele("10.0.0.1", 700)];
         let b2 = vec![tele("10.0.0.3", 100), tele("10.0.0.1", 300), tele("10.0.0.9", 300)];
@@ -865,6 +1224,86 @@ mod tests {
         rows.extend(b2);
         rows.sort_by_key(|e| (e.when.start, e.target));
         assert_eq!(s.telescope(), rows);
+    }
+
+    #[test]
+    fn in_order_batches_never_open_runs() {
+        let mut s = EventStore::new();
+        s.ingest_telescope(vec![tele("10.0.0.1", 10), tele("10.0.0.2", 20)]);
+        s.ingest_telescope(vec![tele("10.0.0.3", 20), tele("10.0.0.4", 30)]);
+        s.ingest_telescope(vec![tele("10.0.0.9", 30)]);
+        assert_eq!(s.pending_runs(), 0, "in-order appends bypass the run stack");
+        assert_eq!(s.telescope().len(), 5);
+    }
+
+    #[test]
+    fn out_of_order_batches_stack_runs_until_read() {
+        let mut s = EventStore::new();
+        s.ingest_telescope(vec![tele("10.0.0.1", 1000)]);
+        s.ingest_telescope(vec![tele("10.0.0.1", 500)]);
+        assert_eq!(s.pending_runs(), 1, "out-of-order batch opened a run");
+        // Summaries never force consolidation.
+        assert_eq!(s.summary(EventSource::Telescope).events, 2);
+        assert_eq!(s.pending_runs(), 1);
+        // A view does.
+        let starts: Vec<u64> = s.telescope().iter().map(|e| e.when.start.0).collect();
+        assert_eq!(starts, vec![500, 1000]);
+        assert_eq!(s.pending_runs(), 0, "read consolidated the runs");
+    }
+
+    #[test]
+    fn run_threshold_forces_consolidation_at_ingest() {
+        let mut s = EventStore::new();
+        s.set_run_threshold(1);
+        s.ingest_telescope(vec![tele("10.0.0.1", 1000)]);
+        s.ingest_telescope(vec![tele("10.0.0.1", 500)]);
+        assert_eq!(s.pending_runs(), 0, "threshold 1 consolidates every batch");
+        assert_eq!(s.telescope().len(), 2);
+    }
+
+    #[test]
+    fn binary_counter_keeps_run_count_logarithmic() {
+        let mut s = EventStore::new();
+        s.set_run_threshold(usize::MAX >> 1);
+        // 64 adversarial single-event batches in strictly reverse time
+        // order: every batch opens a run, the counter keeps only
+        // O(log n) of them alive.
+        for i in (0..64u64).rev() {
+            s.ingest_telescope(vec![tele("10.0.0.7", 10 + i)]);
+        }
+        assert!(
+            s.pending_runs() <= 7,
+            "{} runs pending after 64 singleton batches",
+            s.pending_runs()
+        );
+        let starts: Vec<u64> = s.telescope().iter().map(|e| e.when.start.0).collect();
+        assert_eq!(starts, (10..74).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn parallel_consolidation_matches_serial() {
+        // Enough rows to cross the parallel floor, interleaved so the
+        // merge actually interleaves its inputs.
+        let n = (PARALLEL_CONSOLIDATE_FLOOR / 2) as u64 + 7;
+        let evens: Vec<AttackEvent> = (0..n)
+            .map(|i| tele(&format!("10.{}.{}.1", i % 40, i % 9), 2 * i))
+            .collect();
+        let odds: Vec<AttackEvent> = (0..n)
+            .map(|i| tele(&format!("10.{}.{}.2", i % 17, i % 13), 2 * i + 1))
+            .collect();
+        let build = |threads: usize| {
+            let mut s = EventStore::new();
+            s.set_consolidation_threads(threads);
+            s.ingest_telescope(evens.clone());
+            s.ingest_telescope(odds.clone());
+            s.consolidate();
+            s
+        };
+        let serial = build(1);
+        for threads in [2, 3, 8] {
+            let par = build(threads);
+            assert_eq!(par.telescope(), serial.telescope(), "{threads} threads");
+        }
     }
 
     #[test]
@@ -888,6 +1327,7 @@ mod tests {
         assert_eq!(s.common_targets(), 0);
         assert_eq!(s.telescope().len(), 0);
         assert!(s.all().next().is_none());
+        assert_eq!(s.pending_runs(), 0);
     }
 
     #[test]

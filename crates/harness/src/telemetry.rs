@@ -12,6 +12,19 @@ const REQUIRED_COUNTERS: &[&str] = &[
     "telescope.events",
     "fleet.requests",
     "fleet.events",
+    "store.rows",
+];
+
+/// Store run-lifecycle instruments that must be *present* (registered)
+/// but may legitimately read zero — a smoke run whose batches all arrive
+/// in time order never consolidates, yet the instruments must export so
+/// dashboards can tell "no consolidation" from "not instrumented".
+/// `store.victims` is the interner-size gauge and must be nonzero on any
+/// run that ingested events.
+const REQUIRED_STORE_INSTRUMENTS: &[&str] = &[
+    "store.consolidations",
+    "store.consolidation_rows",
+    "store.runs",
 ];
 
 /// Stage spans a multi-threaded scenario run must have recorded
@@ -60,6 +73,17 @@ pub fn validate(text: &str) -> Result<String, String> {
             Some(_) => problems.push(format!("counter {name} is zero")),
             None => problems.push(format!("counter {name} missing")),
         }
+    }
+
+    for name in REQUIRED_STORE_INSTRUMENTS {
+        if extract_num(text, name).is_none() {
+            problems.push(format!("store instrument {name} missing"));
+        }
+    }
+    match extract_num(text, "store.victims") {
+        Some(v) if v > 0 => {}
+        Some(_) => problems.push("gauge store.victims is zero".into()),
+        None => problems.push("gauge store.victims missing".into()),
     }
 
     for name in REQUIRED_SPANS {
@@ -117,6 +141,10 @@ mod tests {
         for c in REQUIRED_COUNTERS {
             s.push_str(&format!("    \"{c}\": 10,\n"));
         }
+        for c in REQUIRED_STORE_INSTRUMENTS {
+            s.push_str(&format!("    \"{c}\": 0,\n"));
+        }
+        s.push_str("    \"store.victims\": 42,\n");
         for pool in REQUIRED_POOLS {
             s.push_str(&format!("    \"pool.{pool}.workers\": 2,\n"));
             for w in 0..2 {
@@ -152,6 +180,16 @@ mod tests {
         let err = validate(&doc).unwrap_err();
         assert!(err.contains("telescope.events is zero"), "{err}");
         assert!(err.contains("span stage.route missing"), "{err}");
+    }
+
+    #[test]
+    fn rejects_missing_store_instruments() {
+        let doc = valid_doc()
+            .replace("    \"store.consolidations\": 0,\n", "")
+            .replace("\"store.victims\": 42", "\"store.victims\": 0");
+        let err = validate(&doc).unwrap_err();
+        assert!(err.contains("store.consolidations missing"), "{err}");
+        assert!(err.contains("store.victims is zero"), "{err}");
     }
 
     #[test]

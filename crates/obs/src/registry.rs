@@ -279,21 +279,23 @@ pub(crate) fn reset() {
     }
 }
 
-/// Sorted `(name, value)` snapshot of all counters with nonzero values.
+/// Sorted `(name, value)` snapshot of every registered counter.
+/// Registration is authoritative: a zero reading is exported too, so a
+/// consumer can tell "instrumented, nothing happened" (a counter that
+/// reads 0) from "not instrumented at all" (the name is absent).
 pub fn counters_snapshot() -> Vec<(String, u64)> {
     lock(&registry().counters)
         .iter()
         .map(|(k, v)| (k.clone(), v.value()))
-        .filter(|(_, v)| *v > 0)
         .collect()
 }
 
-/// Sorted `(name, value)` snapshot of all gauges with nonzero values.
+/// Sorted `(name, value)` snapshot of every registered gauge (zero
+/// readings included, same contract as [`counters_snapshot`]).
 pub fn gauges_snapshot() -> Vec<(String, u64)> {
     lock(&registry().gauges)
         .iter()
         .map(|(k, v)| (k.clone(), v.value()))
-        .filter(|(_, v)| *v > 0)
         .collect()
 }
 
@@ -422,17 +424,20 @@ mod tests {
     }
 
     #[test]
-    fn snapshots_are_sorted_and_skip_zeros() {
+    fn snapshots_are_sorted_and_keep_registered_zeros() {
         let _t = crate::testing::scoped_enable();
         counter("test.snap.b").inc();
         counter("test.snap.a").inc();
         counter("test.snap.zero");
         let snap = counters_snapshot();
-        let names: Vec<&str> = snap
+        let entries: Vec<(&str, u64)> = snap
             .iter()
             .filter(|(k, _)| k.starts_with("test.snap."))
-            .map(|(k, _)| k.as_str())
+            .map(|(k, v)| (k.as_str(), *v))
             .collect();
-        assert_eq!(names, vec!["test.snap.a", "test.snap.b"]);
+        assert_eq!(
+            entries,
+            vec![("test.snap.a", 1), ("test.snap.b", 1), ("test.snap.zero", 0)]
+        );
     }
 }

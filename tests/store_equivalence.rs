@@ -522,3 +522,184 @@ fn duplicate_timestamps_are_equivalent() {
         assert_equivalent(&rows, &store);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Adversarial ingest orderings for the sorted-run layout: batch sequences
+// chosen to defeat the in-order fast path so every read goes through the
+// k-way consolidation, serial and sharded.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn reverse_time_batches_are_equivalent() {
+    // Batches arrive newest-first: every batch after the first lands
+    // entirely before the rows already in the store, so nothing can take
+    // the in-order append fast path and sorted runs stack until the first
+    // read consolidates them.
+    let batch = |b: u64| -> (Vec<AttackEvent>, Vec<AttackEvent>) {
+        let tele = (0..20u64)
+            .map(|i| {
+                let ip = format!("10.0.{}.1", i % 5);
+                tele_at(&ip, b * 100_000 + i * 37, b * 100_000 + i * 37 + 600)
+            })
+            .collect();
+        let hp = (0..10u64)
+            .map(|i| {
+                let ip = format!("10.0.{}.1", i % 5);
+                hp_at(&ip, b * 100_000 + i * 53 + 7, b * 100_000 + i * 53 + 500)
+            })
+            .collect();
+        (tele, hp)
+    };
+
+    let mut rows = RowStore::default();
+    let mut store = EventStore::new();
+    let mut sharded = ShardedEventStore::new(3);
+    for b in (0..6u64).rev() {
+        let (tele, hp) = batch(b);
+        rows.ingest_telescope(tele.clone());
+        store.ingest_telescope(tele.clone());
+        sharded.ingest_telescope(tele);
+        rows.ingest_honeypot(hp.clone());
+        store.ingest_honeypot(hp.clone());
+        sharded.ingest_honeypot(hp);
+    }
+    assert!(store.pending_runs() > 0, "reverse batches must stack runs");
+    assert_equivalent(&rows, &store);
+    assert_equivalent(&rows, &sharded.into_store());
+}
+
+#[test]
+fn sharded_duplicate_timestamp_batches_are_equivalent() {
+    // Duplicate (start, target) keys split across interleaved batches: the
+    // run tie-break (older run wins) must reproduce the row store's stable
+    // sort even when consolidation is forced after every ingest
+    // (run_threshold 1) and events are routed across shards.
+    let mut tele = Vec::new();
+    let mut hp = Vec::new();
+    for i in 0..24u64 {
+        let ip = format!("10.0.{}.1", i % 2);
+        tele.push(tele_at(&ip, 1000, 2000 + i));
+        hp.push(hp_at(&ip, 1000, 3000 + i));
+    }
+    for threshold in [1usize, 16] {
+        let mut rows = RowStore::default();
+        let mut sharded = ShardedEventStore::new(3);
+        sharded.set_run_threshold(threshold);
+        for k in 0..3 {
+            let tc: Vec<AttackEvent> = tele.iter().skip(k).step_by(3).cloned().collect();
+            let hc: Vec<AttackEvent> = hp.iter().skip(k).step_by(3).cloned().collect();
+            rows.ingest_telescope(tc.clone());
+            sharded.ingest_telescope(tc);
+            rows.ingest_honeypot(hc.clone());
+            sharded.ingest_honeypot(hc);
+        }
+        assert_equivalent(&rows, &sharded.into_store());
+    }
+}
+
+#[test]
+fn single_event_batches_are_equivalent() {
+    // One event per ingest call, in descending time order: the degenerate
+    // worst case for run accumulation (every batch is a new 1-row run
+    // until the binary counter folds it).
+    let events: Vec<AttackEvent> = (0..60u64)
+        .map(|i| {
+            let ip = format!("10.{}.{}.1", i % 4, i % 7);
+            let start = (60 - i) * 997;
+            if i % 3 == 0 {
+                hp_at(&ip, start, start + 400)
+            } else {
+                tele_at(&ip, start, start + 700)
+            }
+        })
+        .collect();
+    let mut rows = RowStore::default();
+    let mut store = EventStore::new();
+    let mut sharded = ShardedEventStore::new(4);
+    for e in &events {
+        match e.source() {
+            EventSource::Telescope => {
+                rows.ingest_telescope(vec![e.clone()]);
+                store.ingest_telescope(vec![e.clone()]);
+                sharded.ingest_telescope(vec![e.clone()]);
+            }
+            EventSource::Honeypot => {
+                rows.ingest_honeypot(vec![e.clone()]);
+                store.ingest_honeypot(vec![e.clone()]);
+                sharded.ingest_honeypot(vec![e.clone()]);
+            }
+        }
+    }
+    assert_equivalent(&rows, &store);
+    assert_equivalent(&rows, &sharded.into_store());
+}
+
+#[test]
+fn run_threshold_matrix_is_equivalent() {
+    // Every consolidation cadence — from "collapse after every
+    // out-of-order batch" (threshold 1) through the lazy default — must be
+    // observationally identical, serial and sharded.
+    let (tele, hp) = split(
+        (0..150u64)
+            .map(|i| {
+                build_event((
+                    (i as u8) ^ 0x5b,
+                    (i * 7) as u8,
+                    (9_999 - i * 61) * 60,
+                    600 + i,
+                    i as u8,
+                ))
+            })
+            .collect(),
+    );
+    for threshold in [1usize, 2, 5, 16] {
+        let mut rows = RowStore::default();
+        let mut store = EventStore::new();
+        store.set_run_threshold(threshold);
+        let mut sharded = ShardedEventStore::new(3);
+        sharded.set_run_threshold(threshold);
+        for k in 0..4 {
+            let tc: Vec<AttackEvent> = tele.iter().skip(k).step_by(4).cloned().collect();
+            let hc: Vec<AttackEvent> = hp.iter().skip(k).step_by(4).cloned().collect();
+            rows.ingest_telescope(tc.clone());
+            store.ingest_telescope(tc.clone());
+            sharded.ingest_telescope(tc);
+            rows.ingest_honeypot(hc.clone());
+            store.ingest_honeypot(hc.clone());
+            sharded.ingest_honeypot(hc);
+        }
+        assert_equivalent(&rows, &store);
+        assert_equivalent(&rows, &sharded.into_store());
+    }
+}
+
+#[test]
+fn parallel_consolidation_is_deterministic_across_thread_counts() {
+    // Enough rows to cross the parallel-consolidation floor (1 << 16),
+    // ingested as two interleaved out-of-order halves so the read-side
+    // consolidation has multiple runs to k-way merge. The pivot-split
+    // parallel merge must be byte-identical to the serial one for any
+    // thread count.
+    let total = 70_000u64;
+    let mk = |i: u64| {
+        let ip = format!("10.{}.{}.{}", i % 13, (i / 13) % 251, 1 + i % 3);
+        let start = (total - i) * 7;
+        tele_at(&ip, start, start + 900)
+    };
+    let evens: Vec<AttackEvent> = (0..total).step_by(2).map(mk).collect();
+    let odds: Vec<AttackEvent> = (1..total).step_by(2).map(mk).collect();
+    let build = |threads: usize| -> EventStore {
+        let mut s = EventStore::new();
+        s.set_consolidation_threads(threads);
+        s.ingest_telescope(evens.clone());
+        s.ingest_telescope(odds.clone());
+        s
+    };
+    let base = build(1);
+    let base_view = base.telescope();
+    for threads in [2usize, 8] {
+        let s = build(threads);
+        assert!(s.telescope() == base_view, "threads={threads} diverged");
+        assert_eq!(s.summary_combined(), base.summary_combined());
+    }
+}

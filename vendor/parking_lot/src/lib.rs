@@ -67,6 +67,15 @@ impl<T> RwLock<T> {
     }
 }
 
+impl<T> RwLock<T> {
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+}
+
 impl<T: ?Sized> RwLock<T> {
     /// Acquire shared read access.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
@@ -76,6 +85,13 @@ impl<T: ?Sized> RwLock<T> {
     /// Acquire exclusive write access.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner
+            .get_mut()
+            .unwrap_or_else(|e| e.into_inner())
     }
 }
 
